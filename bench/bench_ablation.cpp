@@ -1,0 +1,132 @@
+// Ablation bench: the design choices DESIGN.md calls out, isolated.
+//
+//   A. Staircase schedules -- three independent algorithms for Theorem
+//      2.3 (MaxParallel canonical segments, WorkEfficient level phasing,
+//      ColumnSplit divide & conquer): time / processor trade measured.
+//   B. Tube strategies (PerSlice vs SampledDoublyLog) across PRAM
+//      submodels: where the doubly-log machinery pays off.
+//   C. CRCW submodel ablation for plain Monge row minima: COMMON's
+//      doubly-log argopt vs COMBINING's single-step writes vs CREW trees.
+//   D. Frontier-shape ablation for the staircase searcher: full, random,
+//      strictly-decreasing (many distinct frontiers) and blocky.
+#include "bench_util.hpp"
+#include "monge/generators.hpp"
+#include "par/monge_rowminima.hpp"
+#include "par/staircase_rowminima.hpp"
+#include "par/tube_maxima.hpp"
+#include "support/rng.hpp"
+
+using namespace pmonge;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto nmax = static_cast<std::size_t>(cli.get_int("max", 4096));
+  Rng rng(cli.get_int("seed", 19));
+
+  // --- A. staircase schedules -----------------------------------------
+  bench::print_header("A. Theorem 2.3 schedules (n x n staircase-Monge)");
+  {
+    Table t({"schedule", "n", "steps", "work", "peak procs"});
+    const std::pair<par::StaircaseSchedule, const char*> scheds[] = {
+        {par::StaircaseSchedule::MaxParallel, "canonical segments (maxpar)"},
+        {par::StaircaseSchedule::WorkEfficient, "level-phased (workeff)"},
+        {par::StaircaseSchedule::ColumnSplit, "column split d&c"},
+    };
+    for (const auto& [sched, name] : scheds) {
+      for (std::size_t n : bench::pow2_sweep(256, nmax)) {
+        const auto inst = monge::random_staircase_monge(n, n, rng);
+        monge::StaircaseArray<monge::DenseArray<std::int64_t>> s(
+            inst.base, inst.frontier);
+        pram::Machine mach(pram::Model::CRCW_COMMON);
+        par::staircase_row_minima(mach, s, sched);
+        t.add_row({name, Table::num(n), Table::num(mach.meter().time),
+                   Table::num(mach.meter().work),
+                   Table::num(mach.meter().peak_processors)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  // --- B. tube strategies x models -------------------------------------
+  bench::print_header("B. tube strategies across PRAM submodels (n = 128)");
+  {
+    Table t({"strategy", "model", "steps", "work", "peak procs"});
+    const std::size_t n = std::min<std::size_t>(128, nmax);
+    const auto inst = monge::random_composite(n, n, n, rng);
+    for (auto strat :
+         {par::TubeStrategy::PerSlice, par::TubeStrategy::SampledDoublyLog}) {
+      for (auto model :
+           {pram::Model::CREW, pram::Model::CRCW_COMMON,
+            pram::Model::CRCW_COMBINING}) {
+        pram::Machine mach(model);
+        par::tube_minima(mach, inst.d, inst.e, strat);
+        t.add_row({strat == par::TubeStrategy::PerSlice ? "per-slice"
+                                                        : "sampled doubly-log",
+                   pram::model_name(model), Table::num(mach.meter().time),
+                   Table::num(mach.meter().work),
+                   Table::num(mach.meter().peak_processors)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  // --- C. CRCW submodels for Monge row minima --------------------------
+  bench::print_header("C. machine submodels, Monge row minima (n = 4096)");
+  {
+    Table t({"model", "steps", "work", "note"});
+    const std::size_t n = std::min<std::size_t>(4096, nmax);
+    const auto a = monge::random_monge(n, n, rng);
+    const std::pair<pram::Model, const char*> models[] = {
+        {pram::Model::CREW, "lg-depth trees"},
+        {pram::Model::CRCW_COMMON, "doubly-log argopt"},
+        {pram::Model::CRCW_PRIORITY, "doubly-log argopt"},
+        {pram::Model::CRCW_COMBINING, "1-step combining writes"},
+    };
+    for (const auto& [model, note] : models) {
+      pram::Machine mach(model);
+      par::monge_row_minima(mach, a);
+      t.add_row({pram::model_name(model), Table::num(mach.meter().time),
+                 Table::num(mach.meter().work), note});
+    }
+    t.print(std::cout);
+  }
+
+  // --- D. frontier shapes ----------------------------------------------
+  bench::print_header("D. frontier-shape ablation (n = 2048, maxpar)");
+  {
+    Table t({"frontier", "segments work", "steps", "work"});
+    const std::size_t n = std::min<std::size_t>(2048, nmax);
+    const auto base = monge::random_monge(n, n, rng);
+    struct Shape {
+      const char* name;
+      std::vector<std::size_t> f;
+    };
+    std::vector<Shape> shapes;
+    shapes.push_back({"full (plain Monge)", std::vector<std::size_t>(n, n)});
+    shapes.push_back({"random", monge::random_frontier(n, n, rng)});
+    {
+      std::vector<std::size_t> f(n);
+      for (std::size_t i = 0; i < n; ++i) f[i] = n - i;
+      shapes.push_back({"strictly decreasing", std::move(f)});
+    }
+    {
+      std::vector<std::size_t> f(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        f[i] = n - (i / (n / 8)) * (n / 8);
+      }
+      shapes.push_back({"blocky (8 steps)", std::move(f)});
+    }
+    for (auto& sh : shapes) {
+      monge::StaircaseArray<monge::DenseArray<std::int64_t>> s(base, sh.f);
+      pram::Machine mach(pram::Model::CRCW_COMMON);
+      par::staircase_row_minima(mach, s);
+      std::size_t seg_cells = 0;
+      for (auto f : sh.f) seg_cells += static_cast<std::size_t>(
+          __builtin_popcountll(static_cast<unsigned long long>(f)));
+      t.add_row({sh.name, Table::num(seg_cells), Table::num(mach.meter().time),
+                 Table::num(mach.meter().work)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

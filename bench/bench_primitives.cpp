@@ -1,0 +1,106 @@
+// google-benchmark microbenches for the substrate primitives: SMAWK vs
+// brute force (host wall time), the sequential staircase solver, ANSV,
+// PRAM argopt under different models, scans, and network primitives.
+#include <benchmark/benchmark.h>
+
+#include "monge/brute.hpp"
+#include "monge/generators.hpp"
+#include "monge/smawk.hpp"
+#include "monge/staircase_seq.hpp"
+#include "net/engine.hpp"
+#include "net/primitives.hpp"
+#include "pram/ansv.hpp"
+#include "pram/machine.hpp"
+#include "pram/primitives.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pmonge;
+
+void BM_SmawkRowMinima(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = monge::random_monge(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monge::smawk_row_minima(a));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SmawkRowMinima)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_BruteRowMinima(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = monge::random_monge(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monge::row_minima_brute(a));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BruteRowMinima)->Range(64, 2048)->Complexity(benchmark::oNSquared);
+
+void BM_StaircaseSeq(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto inst = monge::random_staircase_monge(n, n, rng);
+  monge::StaircaseArray<monge::DenseArray<std::int64_t>> s(inst.base,
+                                                           inst.frontier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monge::staircase_row_minima_seq(s));
+  }
+}
+BENCHMARK(BM_StaircaseSeq)->Range(64, 2048);
+
+void BM_AnsvSequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::int64_t> a(n);
+  for (auto& x : a) x = rng.uniform_int(0, 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pram::ansv_seq(a));
+  }
+}
+BENCHMARK(BM_AnsvSequential)->Range(1 << 10, 1 << 18);
+
+void BM_ArgoptCrcw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::int64_t> xs(n);
+  for (auto& x : xs) x = rng.uniform_int(0, 1 << 30);
+  for (auto _ : state) {
+    pram::Machine m(pram::Model::CRCW_COMMON);
+    benchmark::DoNotOptimize(pram::min_element_par<std::int64_t>(m, xs));
+  }
+}
+BENCHMARK(BM_ArgoptCrcw)->Range(1 << 10, 1 << 16);
+
+void BM_BitonicSortHypercube(benchmark::State& state) {
+  const auto d = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<std::int64_t> base(std::size_t{1} << d);
+  for (auto& x : base) x = rng.uniform_int(0, 1 << 30);
+  for (auto _ : state) {
+    net::Engine e(net::TopologyKind::Hypercube, d);
+    auto data = base;
+    net::bitonic_sort(e, data, std::less<std::int64_t>{});
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_BitonicSortHypercube)->DenseRange(8, 14, 2);
+
+void BM_PrefixScanShuffleExchange(benchmark::State& state) {
+  const auto d = static_cast<int>(state.range(0));
+  std::vector<std::int64_t> base(std::size_t{1} << d, 1);
+  for (auto _ : state) {
+    net::Engine e(net::TopologyKind::ShuffleExchange, d);
+    auto data = base;
+    net::prefix_scan(e, data, std::plus<std::int64_t>{});
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_PrefixScanShuffleExchange)->DenseRange(8, 16, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Table 1.1 -- row-maxima results for an n x n Monge array.
+//
+//   Paper:   CRCW-PRAM        O(lg n)          n processors
+//            CREW-PRAM        O(lg n lglg n)   n / lglg n processors
+//            hypercube, etc.  O(lg n lglg n)   n / lglg n processors
+//
+// For each model the harness sweeps n, reports measured parallel steps,
+// work and peak processors, the Brent-scheduled time at the paper's
+// processor count, and the ratio series against the claimed shape (a
+// flat ratio reproduces the row).  The network rows are measured on the
+// actual engine (hypercube / CCC / shuffle-exchange), where the paper's
+// omitted construction is replaced by a per-level O(lg n) allocation
+// round (measured shape lg^2 n; see EXPERIMENTS.md).
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "monge/generators.hpp"
+#include "par/hypercube_search.hpp"
+#include "par/monge_rowminima.hpp"
+#include "support/rng.hpp"
+
+using namespace pmonge;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto nmax = static_cast<std::size_t>(cli.get_int("max", 8192));
+  const auto net_max = static_cast<std::size_t>(cli.get_int("net-max", 2048));
+  Rng rng(cli.get_int("seed", 11));
+
+  bench::print_header(
+      "Table 1.1: row maxima of an n x n Monge array (measured)");
+
+  Table t({"model", "n", "steps", "work", "peak procs", "paper procs",
+           "Brent time @paper", "claimed shape"});
+
+  // --- PRAM rows -------------------------------------------------------
+  for (auto model : {pram::Model::CRCW_COMMON, pram::Model::CREW}) {
+    std::vector<SeriesPoint> steps_series;
+    for (std::size_t n : bench::pow2_sweep(64, nmax)) {
+      const auto a = monge::random_monge(n, n, rng);
+      pram::Machine mach(model);
+      par::monge_row_maxima(mach, a);
+      const auto& mt = mach.meter();
+      const bool crcw = model == pram::Model::CRCW_COMMON;
+      const std::uint64_t paper_p =
+          crcw ? n
+               : std::max<std::uint64_t>(
+                     1, n / std::max(1, ceil_lglg(n)));
+      const double brent = mt.brent_time(paper_p);
+      steps_series.push_back({static_cast<double>(n),
+                              crcw ? static_cast<double>(mt.time) : brent});
+      t.add_row({pram::model_name(model), Table::num(n), Table::num(mt.time),
+                 Table::num(mt.work), Table::num(mt.peak_processors),
+                 Table::num(paper_p), Table::fixed(brent, 1),
+                 crcw ? "lg n" : "lg n lglg n"});
+    }
+    const auto shape = model == pram::Model::CRCW_COMMON
+                           ? shape_lg()
+                           : shape_lg_lglg();
+    t.add_row({pram::model_name(model), "fit", "", "", "", "", "",
+               bench::shape_cell(steps_series, shape)});
+  }
+
+  // --- network rows ----------------------------------------------------
+  for (auto kind :
+       {net::TopologyKind::Hypercube, net::TopologyKind::CubeConnectedCycles,
+        net::TopologyKind::ShuffleExchange}) {
+    std::vector<SeriesPoint> series;
+    for (std::size_t n : bench::pow2_sweep(64, net_max)) {
+      std::vector<double> x(n), y(n);
+      for (auto& v : x) v = rng.uniform(0, 1000);
+      for (auto& v : y) v = rng.uniform(0, 1000);
+      std::sort(x.begin(), x.end());
+      std::sort(y.begin(), y.end());
+      net::Engine e = par::make_engine_for(n, kind);
+      par::hc_monge_row_maxima<double>(e, x, y, [](double a, double b) {
+        const double d = a - b;
+        return -d * d;  // concave -> Monge with maxima interesting
+      });
+      series.push_back({static_cast<double>(n),
+                        static_cast<double>(e.meter().total_steps())});
+      t.add_row({net::topology_name(kind), Table::num(n),
+                 Table::num(e.meter().total_steps()),
+                 Table::num(e.meter().messages),
+                 Table::num(e.physical_nodes()), Table::num(e.size()),
+                 "-", "lg n lglg n (meas. lg^2 n)"});
+    }
+    t.add_row({net::topology_name(kind), "fit", "", "", "", "", "",
+               bench::shape_cell(series, shape_lg2())});
+  }
+
+  t.print(std::cout);
+  std::cout << "\nInterpretation: a flat 'first -> last' ratio in the fit "
+               "rows reproduces the table's bound shape.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Table 1.3 -- tube maxima of an n x n x n Monge-composite array.
+//
+//   Paper:   CRCW-PRAM        Theta(lglg n)    n^2 / lglg n processors
+//            CREW-PRAM        Theta(lg n)      n^2 / lg n processors
+//            hypercube, etc.  Theta(lg n)      n^2 processors
+//
+// CRCW row: the sampled doubly-logarithmic strategy ([Ata89] shape).
+// CREW row: the per-slice strategy (one Monge search per output slice).
+// Network row: Theorem 3.4's lockstep per-slice solve on 2n-node
+// sub-networks of an n^2-node host.
+#include "bench_util.hpp"
+#include "monge/generators.hpp"
+#include "par/hypercube_search.hpp"
+#include "par/tube_maxima.hpp"
+#include "support/rng.hpp"
+
+using namespace pmonge;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto nmax = static_cast<std::size_t>(cli.get_int("max", 512));
+  const auto net_max = static_cast<std::size_t>(cli.get_int("net-max", 128));
+  Rng rng(cli.get_int("seed", 13));
+
+  bench::print_header(
+      "Table 1.3: tube maxima of an n x n x n Monge-composite array");
+
+  Table t({"model", "n", "steps", "work", "peak procs",
+           "Brent @paper procs", "claimed shape"});
+
+  // CRCW row: Theta(lglg n).
+  {
+    std::vector<SeriesPoint> series;
+    for (std::size_t n : bench::pow2_sweep(16, nmax)) {
+      const auto inst = monge::random_composite(n, n, n, rng);
+      pram::Machine mach(pram::Model::CRCW_COMMON);
+      par::tube_maxima(mach, inst.d, inst.e,
+                       par::TubeStrategy::SampledDoublyLog);
+      const auto& mt = mach.meter();
+      const std::uint64_t paper_p = std::max<std::uint64_t>(
+          1, n * n / std::max(1, ceil_lglg(n)));
+      series.push_back({static_cast<double>(n),
+                        static_cast<double>(mt.time)});
+      t.add_row({"CRCW (sampled doubly-log)", Table::num(n),
+                 Table::num(mt.time), Table::num(mt.work),
+                 Table::num(mt.peak_processors),
+                 Table::fixed(mt.brent_time(paper_p), 1), "lglg n"});
+    }
+    t.add_row({"CRCW (sampled doubly-log)", "fit", "", "", "", "",
+               bench::shape_cell(series, shape_lglg())});
+  }
+
+  // CREW row: Theta(lg n).
+  {
+    std::vector<SeriesPoint> series;
+    for (std::size_t n : bench::pow2_sweep(16, nmax)) {
+      const auto inst = monge::random_composite(n, n, n, rng);
+      pram::Machine mach(pram::Model::CREW);
+      par::tube_maxima(mach, inst.d, inst.e, par::TubeStrategy::PerSlice);
+      const auto& mt = mach.meter();
+      const std::uint64_t paper_p = std::max<std::uint64_t>(
+          1, n * n / std::max(1, ceil_lg(n)));
+      series.push_back({static_cast<double>(n),
+                        static_cast<double>(mt.time)});
+      t.add_row({"CREW (per-slice)", Table::num(n), Table::num(mt.time),
+                 Table::num(mt.work), Table::num(mt.peak_processors),
+                 Table::fixed(mt.brent_time(paper_p), 1), "lg n"});
+    }
+    t.add_row({"CREW (per-slice)", "fit", "", "", "", "",
+               bench::shape_cell(series, shape_lg())});
+  }
+
+  // Network row (Theorem 3.4): n^2 processors, Theta(lg n) claimed.
+  for (auto kind :
+       {net::TopologyKind::Hypercube, net::TopologyKind::CubeConnectedCycles}) {
+    std::vector<SeriesPoint> series;
+    for (std::size_t n : bench::pow2_sweep(16, net_max)) {
+      const auto inst = monge::random_composite(n, n, n, rng);
+      auto [plane, agg] = par::hc_tube_maxima(kind, inst.d, inst.e);
+      (void)plane;
+      series.push_back({static_cast<double>(n),
+                        static_cast<double>(agg.total_steps())});
+      t.add_row({net::topology_name(kind), Table::num(n),
+                 Table::num(agg.total_steps()), "-",
+                 Table::num(agg.physical_nodes), "-",
+                 "lg n (meas. lg^2 n)"});
+    }
+    t.add_row({net::topology_name(kind), "fit", "", "", "", "",
+               bench::shape_cell(series, shape_lg2())});
+  }
+
+  t.print(std::cout);
+  std::cout << "\nSequential baseline: [AKM+87] gives O((p+r)q) probes; the "
+               "brute force scans n^3 entries.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared helpers for the paper-table bench binaries: size sweeps, shape
+// columns, and uniform row emission through support/table.hpp.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/series.hpp"
+#include "support/table.hpp"
+
+namespace pmonge::bench {
+
+/// Power-of-two sweep [lo, hi].
+inline std::vector<std::size_t> pow2_sweep(std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> v;
+  for (std::size_t n = lo; n <= hi; n *= 2) v.push_back(n);
+  return v;
+}
+
+/// Render the fit of a measured series against a claimed shape: the
+/// "ratio flat?" evidence column of every table bench.
+inline std::string shape_cell(const std::vector<SeriesPoint>& pts,
+                              const Shape& shape) {
+  const auto fit = fit_shape(pts, shape);
+  return Table::fixed(fit.ratio_first, 2) + " -> " +
+         Table::fixed(fit.ratio_last, 2) + " (c~" +
+         Table::fixed(fit.constant, 2) + ")";
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+}  // namespace pmonge::bench

@@ -1,0 +1,65 @@
+// Quickstart: the library in five minutes.
+//
+//   1. build a Monge array (or wrap your own cost function),
+//   2. validate the property,
+//   3. search it sequentially (SMAWK) and in parallel (simulated PRAM),
+//   4. read the charged parallel costs off the machine's meter,
+//   5. do the same for a staircase-Monge array (the paper's headline).
+//
+//   $ build/examples/quickstart
+#include <cstdio>
+
+#include "monge/brute.hpp"
+#include "monge/generators.hpp"
+#include "monge/smawk.hpp"
+#include "monge/validate.hpp"
+#include "par/monge_rowminima.hpp"
+#include "par/staircase_rowminima.hpp"
+#include "support/rng.hpp"
+
+using namespace pmonge;
+
+int main() {
+  Rng rng(2026);
+
+  // --- 1. A random 512 x 512 Monge array (density construction). ------
+  const std::size_t n = 512;
+  const auto a = monge::random_monge(n, n, rng);
+  std::printf("is_monge(a)           = %s\n",
+              monge::is_monge(a) ? "true" : "false");
+
+  // --- 2. Sequential row minima via SMAWK: O(m+n) probes. -------------
+  const auto mins = monge::smawk_row_minima(a);
+  std::printf("row 0 minimum         = %lld at column %zu\n",
+              static_cast<long long>(mins[0].value), mins[0].col);
+
+  // --- 3. The same on a simulated CRCW PRAM. ---------------------------
+  pram::Machine crcw(pram::Model::CRCW_COMMON);
+  const auto pmins = par::monge_row_minima(crcw, a);
+  std::printf("parallel == SMAWK     = %s\n",
+              pmins == mins ? "true" : "false");
+  std::printf("CRCW charged depth    = %llu steps (lg n = %d)\n",
+              static_cast<unsigned long long>(crcw.meter().time),
+              ceil_lg(n));
+  std::printf("CRCW peak processors  = %llu\n",
+              static_cast<unsigned long long>(crcw.meter().peak_processors));
+
+  // --- 4. Brent's theorem: time at the paper's processor count. --------
+  pram::Machine crew(pram::Model::CREW);
+  par::monge_row_minima(crew, a);
+  const auto p = n / static_cast<std::size_t>(ceil_lglg(n));
+  std::printf("CREW Brent time @%zu  = %.1f (lg n lglg n = %d)\n", p,
+              crew.meter().brent_time(p), ceil_lg(n) * ceil_lglg(n));
+
+  // --- 5. Staircase-Monge row minima (Theorem 2.3). --------------------
+  const auto inst = monge::random_staircase_monge(n, n, rng);
+  monge::StaircaseArray<monge::DenseArray<std::int64_t>> s(inst.base,
+                                                           inst.frontier);
+  pram::Machine stair(pram::Model::CRCW_COMMON);
+  const auto smins = par::staircase_row_minima(stair, s);
+  const auto sbrute = monge::row_minima_brute(s);
+  std::printf("staircase parallel ok = %s, depth = %llu steps\n",
+              smins == sbrute ? "true" : "false",
+              static_cast<unsigned long long>(stair.meter().time));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Example: Melville's circuit-leakage scenario (Application 2) plus the
+// largest empty rectangle (Application 1) on the same die.
+//
+// Imagine an integrated circuit with n nodes; the pair of nodes whose
+// bounding box has the largest area identifies the most detrimental
+// leakage path [Mel89].  The largest *empty* rectangle locates the
+// biggest free region of the die.
+//
+//   $ build/examples/vlsi_leakage [--n=2000] [--seed=3]
+#include <cstdio>
+
+#include "apps/empty_rect.hpp"
+#include "apps/largest_rect.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+
+using namespace pmonge;
+using namespace pmonge::apps;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 2000));
+  Rng rng(cli.get_int("seed", 3));
+
+  // "Circuit nodes" clustered the way placed cells tend to be.
+  const auto nodes = clustered_points(n, rng);
+  std::printf("die with %zu circuit nodes (clustered placement)\n", n);
+
+  pram::Machine mach(pram::Model::CRCW_COMMON);
+  const auto worst = largest_rect_par(mach, nodes);
+  std::printf(
+      "worst leakage pair: (%lld,%lld) <-> (%lld,%lld), bounding area "
+      "%lld\n",
+      static_cast<long long>(worst.a.x), static_cast<long long>(worst.a.y),
+      static_cast<long long>(worst.b.x), static_cast<long long>(worst.b.y),
+      static_cast<long long>(worst.area));
+  std::printf("  found at charged depth %llu steps, %llu peak processors\n",
+              static_cast<unsigned long long>(mach.meter().time),
+              static_cast<unsigned long long>(mach.meter().peak_processors));
+
+  // Largest free region of the die (Application 1).
+  const Rect die{0, 0, double{1 << 20}, double{1 << 20}};
+  std::vector<DPoint> dnodes(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    dnodes[i] = {static_cast<double>(nodes[i].x),
+                 static_cast<double>(nodes[i].y)};
+  }
+  pram::Machine mach2(pram::Model::CRCW_COMMON);
+  const auto free_rect = largest_empty_rect_par(mach2, dnodes, die);
+  std::printf(
+      "largest empty region: [%.0f, %.0f] x [%.0f, %.0f], %.1f%% of the "
+      "die, depth %llu steps\n",
+      free_rect.x1, free_rect.x2, free_rect.y1, free_rect.y2,
+      100.0 * free_rect.area() / die.area(),
+      static_cast<unsigned long long>(mach2.meter().time));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Application 1 (Section 1.3): the largest-area empty rectangle -- given
+// a bounding rectangle containing n points, find the largest axis-
+// parallel rectangle inside it whose interior contains no point
+// (Aggarwal-Suri [AS87]; parallel bounds compared against [AP89c]).
+//
+// Structure: divide and conquer on the median x.  A maximal empty
+// rectangle either lies in one half-slab (recursion) or crosses the
+// dividing line.  For the crossing case each side's points induce a
+// laminar family of *windows*: maximal y-gaps of the points with x
+// beyond a moving left/right edge.  Window w = (b, t, reach), where
+// reach is the x of the point that splits w (or the slab wall).  The
+// enclosing window of each point -- hence the whole family -- is exactly
+// an All-Nearest-Smaller-Values computation on (-x) in y-order, i.e. the
+// paper's own ANSV primitive (Lemma 2.2's allocation tool) reused as a
+// geometric engine.  The crossing optimum is
+//     max over overlapping pairs (wl, wr) of
+//         (reach_r - reach_l) * (min(t_l, t_r) - max(b_l, b_r)),
+// and every pair's value is achievable, so the pair search is exact.
+//
+// Charged costs: every divide level spends two ANSV calls (O(lg n)) plus
+// one doubly-logarithmic pair argmax; with O(lg n) levels the measured
+// depth matches the paper's O(lg^2 n) CRCW bound.  The pair search is
+// work-quadratic in the crossing size (the extended abstract defers the
+// work-efficient staircase-Monge pairing of [AS87] to the unpublished
+// final version); EXPERIMENTS.md reports both time and processor-time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::apps {
+
+struct DPoint {
+  double x = 0, y = 0;
+};
+
+struct Rect {
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  double area() const { return (x2 - x1) * (y2 - y1); }
+};
+
+/// Exhaustive oracle: every pair of candidate x-boundaries (point
+/// abscissae and walls) against the y-gaps of the points inside the
+/// strip.  O(n^3)-ish; tests only.
+Rect largest_empty_rect_brute(const std::vector<DPoint>& pts,
+                              const Rect& bound);
+
+/// Parallel divide and conquer with ANSV-based crossing windows; exact.
+Rect largest_empty_rect_par(pram::Machine& mach, std::vector<DPoint> pts,
+                            const Rect& bound);
+
+/// Check that `r` is empty (no point strictly inside) and inside bound.
+bool rect_is_empty(const Rect& r, const std::vector<DPoint>& pts,
+                   const Rect& bound);
+
+/// Generators: uniform, clustered and a "fat diagonal" adversarial set.
+std::vector<DPoint> random_dpoints(std::size_t n, Rng& rng,
+                                   const Rect& bound);
+std::vector<DPoint> diagonal_dpoints(std::size_t n, const Rect& bound);
+
+}  // namespace pmonge::apps

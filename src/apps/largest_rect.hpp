@@ -1,0 +1,62 @@
+// Application 2 (Section 1.3): the largest-area (not necessarily empty)
+// rectangle having two of the n input points as opposite corners, axis
+// parallel -- Melville's integrated-circuit leakage model [Mel89].
+//
+// Reduction (the extended abstract omits it; DESIGN.md documents ours):
+// for the NE/SW diagonal orientation the lower-left corner can be
+// restricted to the *minimal* dominance staircase (no other point weakly
+// below-left) and the upper-right corner to the *maximal* staircase; both
+// staircases, sorted by x, have non-increasing y, and the signed area
+// a[i][j] = (x_j - x_i)(y_j - y_i) over (minimal x maximal) is
+// inverse-Monge on the whole index grid -- sign-inconsistent entries are
+// negative and never win the maximum, so no mask is needed.  The NW/SE
+// orientation is the same problem with y negated.  One inverse-Monge
+// row-maxima call per orientation gives a Theta(lg n)-depth, O(n)-
+// processor CRCW algorithm after an O(lg n) radix sort of the (bounded
+// integer) coordinates, matching the paper's optimal bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::apps {
+
+struct IPoint {
+  std::int64_t x = 0, y = 0;
+
+  friend bool operator==(const IPoint&, const IPoint&) = default;
+};
+
+struct RectPair {
+  std::int64_t area = 0;
+  IPoint a, b;  // the two opposite corners
+};
+
+/// O(n^2) oracle.
+RectPair largest_rect_brute(const std::vector<IPoint>& pts);
+
+/// Parallel staircase + inverse-Monge row-maxima algorithm; meter carries
+/// the charged costs.  Requires n >= 2.
+RectPair largest_rect_par(pram::Machine& mach, std::vector<IPoint> pts);
+
+/// The two dominance staircases (exposed for tests): minimal points (no
+/// other point weakly below-left) and maximal points, each sorted by x
+/// ascending (hence y non-increasing).
+struct Staircases {
+  std::vector<IPoint> minimal;
+  std::vector<IPoint> maximal;
+};
+Staircases dominance_staircases(const std::vector<IPoint>& pts);
+
+/// Point-set generators for the benches: uniform grid, clustered, and an
+/// adversarial anti-diagonal (every point on both staircases).
+std::vector<IPoint> random_points(std::size_t n, Rng& rng,
+                                  std::int64_t coord_max = (1 << 20));
+std::vector<IPoint> clustered_points(std::size_t n, Rng& rng,
+                                     std::size_t clusters = 8);
+std::vector<IPoint> antidiagonal_points(std::size_t n);
+
+}  // namespace pmonge::apps

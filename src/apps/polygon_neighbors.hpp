@@ -1,0 +1,64 @@
+// Application 3 (Section 1.3): nearest-visible, nearest-invisible,
+// farthest-visible and farthest-invisible neighbors between two disjoint
+// convex polygons P (m vertices) and Q (n vertices).
+//
+// Structure: split each polygon into its two y-monotone chains and
+// search each (P-chain, Q-chain) block with the interval-masked
+// staircase machinery of Theorem 2.3 (par/interval_mask.hpp), masking
+// each row to its visible / invisible arc (tangent monotonicity makes
+// the per-row arcs interval-shaped with monotone endpoints).
+//
+// Caveat, discovered empirically and handled explicitly: unlike Figure
+// 1.1's two chains of a *single* convex cycle -- whose vertices are in
+// convex position, forcing the quadrangle inequality -- the distance
+// array between two *separate* convex polygons is NOT globally
+// inverse-Monge, and chain blocks can violate the property (the paper
+// defers its decomposition details to the unpublished final version).
+// Every block is therefore *certified* at run time (one adjacent-
+// quadruple validation step, plus the searcher's own monotone-bracket
+// guard); blocks that fail take an exact metered fallback scan.  The
+// answer is exact on every input; `fast_blocks` / `slow_blocks` report
+// which route each block took.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "pram/machine.hpp"
+
+namespace pmonge::apps {
+
+enum class NeighborKind {
+  NearestVisible,
+  NearestInvisible,
+  FarthestVisible,
+  FarthestInvisible,
+};
+
+const char* neighbor_kind_name(NeighborKind k);
+
+struct NeighborResult {
+  // For each vertex i of P: the best vertex index of Q, or npos when no
+  // vertex qualifies (e.g. every vertex visible => no invisible
+  // neighbor), and the corresponding distance.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> neighbor;
+  std::vector<double> distance;
+};
+
+/// O(mn) oracle using the brute-force visibility predicate.
+NeighborResult neighbors_brute(const geom::ConvexPolygon& P,
+                               const geom::ConvexPolygon& Q,
+                               NeighborKind kind);
+
+/// Parallel Monge-machinery solver; exact.  `fast_blocks`/`slow_blocks`
+/// (optional out-params) count how many chain blocks took the
+/// interval-masked path vs the fallback scan.
+NeighborResult neighbors_par(pram::Machine& mach,
+                             const geom::ConvexPolygon& P,
+                             const geom::ConvexPolygon& Q, NeighborKind kind,
+                             std::size_t* fast_blocks = nullptr,
+                             std::size_t* slow_blocks = nullptr);
+
+}  // namespace pmonge::apps

@@ -1,0 +1,109 @@
+// Planar geometry for the paper's applications: points, convex polygons,
+// chains, tangent/visibility predicates between disjoint convex polygons,
+// and random instance generators.
+//
+// Conventions: polygons are simple, strictly convex, vertices in
+// counterclockwise (CCW) order.  Visibility between a vertex x of P and a
+// vertex y of Q (P, Q disjoint) means the open segment xy meets neither
+// polygon's interior.  Because the polygons are convex and x, y lie on
+// their boundaries, the segment can only enter an interior *immediately*
+// at one of its endpoints, so visibility reduces to two O(1) wedge tests
+// (visible()); visible_brute() checks the definition edge by edge and is
+// used to validate the fast predicate in the tests.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::geom {
+
+struct Point {
+  double x = 0, y = 0;
+
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+inline double cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+inline double cross(Point o, Point a, Point b) {
+  return cross(a - o, b - o);
+}
+inline double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+double dist(Point a, Point b);
+inline double dist2(Point a, Point b) {
+  return dot(a - b, a - b);
+}
+
+/// A strictly convex polygon, vertices CCW.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+  explicit ConvexPolygon(std::vector<Point> pts);
+
+  std::size_t size() const { return v_.size(); }
+  const Point& operator[](std::size_t i) const { return v_[i]; }
+  const std::vector<Point>& vertices() const { return v_; }
+  std::size_t next(std::size_t i) const { return i + 1 < v_.size() ? i + 1 : 0; }
+  std::size_t prev(std::size_t i) const { return i ? i - 1 : v_.size() - 1; }
+
+  /// Strict interior containment.
+  bool contains_interior(Point p) const;
+
+ private:
+  std::vector<Point> v_;
+};
+
+/// Is `pts` (in order) a strictly convex CCW polygon?
+bool is_strictly_convex_ccw(const std::vector<Point>& pts);
+
+/// Does the direction `d` from vertex i point strictly into the interior
+/// wedge of the polygon at that vertex?
+bool direction_enters(const ConvexPolygon& poly, std::size_t i, Point d);
+
+/// O(1) visibility between vertex i of P and vertex j of Q (disjoint
+/// convex polygons): neither endpoint's wedge swallows the segment.
+bool visible(const ConvexPolygon& P, std::size_t i, const ConvexPolygon& Q,
+             std::size_t j);
+
+/// Reference predicate: explicit segment-versus-polygon interior test
+/// against every edge of both polygons plus midpoint containment.
+bool visible_brute(const ConvexPolygon& P, std::size_t i,
+                   const ConvexPolygon& Q, std::size_t j);
+
+/// Proper or touching intersection test between segments [a,b] and [c,d],
+/// excluding shared endpoints (helper for visible_brute).
+bool segments_cross(Point a, Point b, Point c, Point d);
+
+// ---------------------------------------------------------------------------
+// Chains (Figure 1.1)
+// ---------------------------------------------------------------------------
+
+/// Split a convex polygon into its two x-monotone chains: the lower chain
+/// from the leftmost to the rightmost vertex and the upper chain back.
+/// Both are returned in their traversal order around the polygon.
+struct ChainPair {
+  std::vector<Point> lower;  // leftmost -> rightmost, CCW portion
+  std::vector<Point> upper;  // rightmost -> leftmost, CCW portion
+};
+ChainPair split_chains(const ConvexPolygon& poly);
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Random strictly convex polygon with n vertices: sorted random angles
+/// on an ellipse with jittered radius kept convex by construction
+/// (points on a circle are always in convex position).
+ConvexPolygon random_convex_polygon(std::size_t n, Rng& rng, Point center,
+                                    double radius);
+
+/// Two disjoint convex polygons with a vertical separating gap.
+std::pair<ConvexPolygon, ConvexPolygon> random_disjoint_polygons(
+    std::size_t m, std::size_t n, Rng& rng);
+
+}  // namespace pmonge::geom

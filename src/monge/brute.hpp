@@ -1,0 +1,55 @@
+// Exhaustive-search oracles.  Every fast algorithm in the library is
+// tested against these on randomized inputs.
+#pragma once
+
+#include <vector>
+
+#include "monge/array.hpp"
+
+namespace pmonge::monge {
+
+/// Leftmost minimum of each row; rows whose entries are all infinite
+/// report {inf, kNoCol}.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> row_minima_brute(const A& a) {
+  using T = typename A::value_type;
+  std::vector<RowOpt<T>> out(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    RowOpt<T> best{inf<T>(), kNoCol};
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const T v = a(i, j);
+      if (is_infinite<T>(v)) continue;
+      if (best.col == kNoCol || v < best.value) best = {v, j};
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+/// Leftmost maximum of each row over *finite* entries; all-infinite rows
+/// report {-inf, kNoCol}.  (For plain Monge arrays every entry is finite
+/// and this is the paper's row-maxima problem.)
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> row_maxima_brute(const A& a) {
+  using T = typename A::value_type;
+  std::vector<RowOpt<T>> out(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    RowOpt<T> best{-inf<T>(), kNoCol};
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const T v = a(i, j);
+      if (is_infinite<T>(v)) continue;
+      if (best.col == kNoCol || v > best.value) best = {v, j};
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+/// Number of entry probes a brute-force row scan performs (m*n); used by
+/// benches to report the sequential baseline's work.
+template <Array2D A>
+std::size_t brute_probe_count(const A& a) {
+  return a.rows() * a.cols();
+}
+
+}  // namespace pmonge::monge

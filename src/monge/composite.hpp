@@ -1,0 +1,106 @@
+// Monge-composite arrays and the tube maxima/minima problem.
+//
+// A p x q x r Monge-composite array is c[i][j][k] = d[i][j] + e[j][k] with
+// D and E Monge (Section 1.1).  Following the applications the paper cites
+// ([AP89a], [AALM88], string editing, Huffman coding), the "tube" ranges
+// over the *middle* coordinate: for every (i, k) we seek
+// opt_j c[i][j][k], i.e. the (max,+) or (min,+) product of D and E.  (The
+// extended abstract's wording "first two coordinates" describes the
+// indexing of the output plane; the optimization is over j, which is the
+// only non-trivial variant -- optimizing over k would decouple into row
+// optima of E alone.)  Ties resolve to the minimum j, matching the paper's
+// "minimum third coordinate" convention.
+//
+// Key structural fact used by every fast algorithm here: the optimal
+// middle index theta(i, k) is non-decreasing in i for fixed k and
+// non-decreasing in k for fixed i.  is_theta_monotone() checks it.
+#pragma once
+
+#include <vector>
+
+#include "monge/array.hpp"
+
+namespace pmonge::monge {
+
+template <class T>
+struct TubeOpt {
+  T value{};
+  std::size_t j = kNoCol;
+
+  friend bool operator==(const TubeOpt&, const TubeOpt&) = default;
+};
+
+/// Flat (i, k) plane of tube results; index i * r + k.
+template <class T>
+struct TubePlane {
+  std::size_t p = 0;
+  std::size_t r = 0;
+  std::vector<TubeOpt<T>> opt;
+
+  const TubeOpt<T>& at(std::size_t i, std::size_t k) const {
+    return opt[i * r + k];
+  }
+  TubeOpt<T>& at(std::size_t i, std::size_t k) { return opt[i * r + k]; }
+};
+
+/// Brute-force tube maxima: O(p q r), smallest-j ties.
+template <Array2D D, Array2D E>
+TubePlane<typename D::value_type> tube_maxima_brute(const D& d, const E& e) {
+  using T = typename D::value_type;
+  const std::size_t p = d.rows(), q = d.cols(), r = e.cols();
+  TubePlane<T> out{p, r, std::vector<TubeOpt<T>>(p * r)};
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t k = 0; k < r; ++k) {
+      TubeOpt<T> best{d(i, 0) + e(0, k), 0};
+      for (std::size_t j = 1; j < q; ++j) {
+        const T v = d(i, j) + e(j, k);
+        if (v > best.value) best = {v, j};
+      }
+      out.at(i, k) = best;
+    }
+  }
+  return out;
+}
+
+/// Brute-force tube minima: O(p q r), smallest-j ties.
+template <Array2D D, Array2D E>
+TubePlane<typename D::value_type> tube_minima_brute(const D& d, const E& e) {
+  using T = typename D::value_type;
+  const std::size_t p = d.rows(), q = d.cols(), r = e.cols();
+  TubePlane<T> out{p, r, std::vector<TubeOpt<T>>(p * r)};
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t k = 0; k < r; ++k) {
+      TubeOpt<T> best{d(i, 0) + e(0, k), 0};
+      for (std::size_t j = 1; j < q; ++j) {
+        const T v = d(i, j) + e(j, k);
+        if (v < best.value) best = {v, j};
+      }
+      out.at(i, k) = best;
+    }
+  }
+  return out;
+}
+
+/// Verifies the monotone-theta property of a tube-optimum plane.
+/// For tube *minima* with D, E Monge the leftmost argmin is non-decreasing
+/// in both i and k (pass nondecreasing = true); for tube *maxima* with
+/// D, E Monge the leftmost argmax is non-increasing in both (pass false).
+template <class T>
+bool is_theta_monotone(const TubePlane<T>& plane, bool nondecreasing) {
+  auto ok = [&](std::size_t a, std::size_t b) {
+    return nondecreasing ? a <= b : a >= b;
+  };
+  for (std::size_t i = 0; i < plane.p; ++i) {
+    for (std::size_t k = 0; k < plane.r; ++k) {
+      if (k + 1 < plane.r && !ok(plane.at(i, k).j, plane.at(i, k + 1).j)) {
+        return false;
+      }
+      if (i + 1 < plane.p && !ok(plane.at(i, k).j, plane.at(i + 1, k).j)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pmonge::monge

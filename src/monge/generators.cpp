@@ -1,0 +1,129 @@
+#include "monge/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmonge::monge {
+
+namespace {
+
+/// Shared density construction: a[i][j] = r_i + c_j - S[i][j] where S is
+/// the inclusive 2D prefix sum of a non-negative density.  The Monge
+/// cross-difference of a equals -sum of the density over the spanned
+/// rectangle, hence <= 0.
+DenseArray<std::int64_t> density_monge(std::size_t m, std::size_t n, Rng& rng,
+                                       std::int64_t maxd, std::int64_t maxoff) {
+  DenseArray<std::int64_t> s(m, n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int64_t d = rng.uniform_int(0, maxd);
+      const std::int64_t up = i ? s(i - 1, j) : 0;
+      const std::int64_t left = j ? s(i, j - 1) : 0;
+      const std::int64_t diag = (i && j) ? s(i - 1, j - 1) : 0;
+      s.at(i, j) = d + up + left - diag;
+    }
+  }
+  std::vector<std::int64_t> r(m), c(n);
+  for (auto& x : r) x = rng.uniform_int(-maxoff, maxoff);
+  for (auto& x : c) x = rng.uniform_int(-maxoff, maxoff);
+  DenseArray<std::int64_t> a(m, n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = r[i] + c[j] - s(i, j);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+DenseArray<std::int64_t> random_monge(std::size_t m, std::size_t n, Rng& rng,
+                                      std::int64_t maxd, std::int64_t maxoff) {
+  return density_monge(m, n, rng, maxd, maxoff);
+}
+
+DenseArray<std::int64_t> random_inverse_monge(std::size_t m, std::size_t n,
+                                              Rng& rng, std::int64_t maxd,
+                                              std::int64_t maxoff) {
+  DenseArray<std::int64_t> a = density_monge(m, n, rng, maxd, maxoff);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = -a(i, j);
+  }
+  return a;
+}
+
+DenseArray<double> random_monge_real(std::size_t m, std::size_t n, Rng& rng) {
+  DenseArray<double> s(m, n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = rng.uniform01();
+      const double up = i ? s(i - 1, j) : 0;
+      const double left = j ? s(i, j - 1) : 0;
+      const double diag = (i && j) ? s(i - 1, j - 1) : 0;
+      s.at(i, j) = d + up + left - diag;
+    }
+  }
+  std::vector<double> r(m), c(n);
+  for (auto& x : r) x = rng.uniform(-100, 100);
+  for (auto& x : c) x = rng.uniform(-100, 100);
+  DenseArray<double> a(m, n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = r[i] + c[j] - s(i, j);
+  }
+  return a;
+}
+
+DenseArray<double> transportation_monge(std::size_t m, std::size_t n,
+                                        Rng& rng) {
+  std::vector<double> x(m), y(n);
+  for (auto& v : x) v = rng.uniform(0, 1000);
+  for (auto& v : y) v = rng.uniform(0, 1000);
+  std::sort(x.begin(), x.end());
+  std::sort(y.begin(), y.end());
+  DenseArray<double> a(m, n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double t = x[i] - y[j];
+      a.at(i, j) = t * t;
+    }
+  }
+  return a;
+}
+
+std::vector<std::size_t> random_frontier(std::size_t m, std::size_t n,
+                                         Rng& rng) {
+  // Random non-increasing sequence in [0, n]; biased so that a prefix of
+  // rows is often full-width and a suffix may be fully infinite, exercising
+  // the degenerate cases.
+  std::vector<std::size_t> f(m);
+  std::size_t cur = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(n / 2), static_cast<std::int64_t>(n)));
+  for (std::size_t i = 0; i < m; ++i) {
+    f[i] = cur;
+    if (rng.chance(0.35) && cur > 0) {
+      const auto drop = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(std::max<std::size_t>(
+                                 1, cur / std::max<std::size_t>(1, m - i)))));
+      cur = cur > drop ? cur - drop : 0;
+    }
+  }
+  return f;
+}
+
+StaircaseInstance random_staircase_monge(std::size_t m, std::size_t n,
+                                         Rng& rng) {
+  StaircaseInstance inst;
+  inst.base = random_monge(m, n, rng);
+  inst.frontier = random_frontier(m, n, rng);
+  return inst;
+}
+
+CompositeInstance random_composite(std::size_t p, std::size_t q, std::size_t r,
+                                   Rng& rng) {
+  CompositeInstance inst;
+  inst.d = random_monge(p, q, rng);
+  inst.e = random_monge(q, r, rng);
+  return inst;
+}
+
+}  // namespace pmonge::monge

@@ -1,0 +1,65 @@
+// Random instance generators.
+//
+// The paper evaluates on abstract arrays, so the benchmark inputs are
+// synthetic.  Three families are provided:
+//   * density construction -- a[i][j] = r_i + c_j - sum_{p<=i, q<=j} d[p][q]
+//     with d >= 0 yields a Monge array, and every Monge array arises this
+//     way; this is the canonical "random Monge array".
+//   * convex transportation costs -- a[i][j] = phi(|x_i - y_j|) for convex
+//     phi and sorted site vectors, the classic Hoffman/Monge setting.
+//   * staircase truncation -- a Monge base plus a random non-increasing
+//     frontier of +inf entries (condition 2 of Section 1.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monge/array.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::monge {
+
+/// Random m x n Monge array via the density construction.  Entries are
+/// integers of magnitude O(maxd * m * n + maxoff).
+DenseArray<std::int64_t> random_monge(std::size_t m, std::size_t n, Rng& rng,
+                                      std::int64_t maxd = 8,
+                                      std::int64_t maxoff = 1000);
+
+/// Random inverse-Monge array (negated density construction).
+DenseArray<std::int64_t> random_inverse_monge(std::size_t m, std::size_t n,
+                                              Rng& rng, std::int64_t maxd = 8,
+                                              std::int64_t maxoff = 1000);
+
+/// Real-valued Monge array via the density construction.
+DenseArray<double> random_monge_real(std::size_t m, std::size_t n, Rng& rng);
+
+/// Transportation-cost Monge array: phi(|x_i - y_j|) with phi convex
+/// (phi(t) = t^2) and sorted random sites.
+DenseArray<double> transportation_monge(std::size_t m, std::size_t n,
+                                        Rng& rng);
+
+/// Random non-increasing staircase frontier.  full_prob is the chance that
+/// the first row's frontier is the full width; rows may end with frontier 0
+/// (fully infinite rows), which the searching code must tolerate.
+std::vector<std::size_t> random_frontier(std::size_t m, std::size_t n,
+                                         Rng& rng);
+
+/// Convenience bundle: base Monge array + frontier (wrap with
+/// StaircaseArray<DenseArray<std::int64_t>> to search).
+struct StaircaseInstance {
+  DenseArray<std::int64_t> base;
+  std::vector<std::size_t> frontier;
+};
+StaircaseInstance random_staircase_monge(std::size_t m, std::size_t n,
+                                         Rng& rng);
+
+/// A Monge-composite instance: c[i][j][k] = d[i][j] + e[j][k] with D, E
+/// Monge (Section 1.1).  p x q and q x r.
+struct CompositeInstance {
+  DenseArray<std::int64_t> d;  // p x q
+  DenseArray<std::int64_t> e;  // q x r
+};
+CompositeInstance random_composite(std::size_t p, std::size_t q, std::size_t r,
+                                   Rng& rng);
+
+}  // namespace pmonge::monge

@@ -1,0 +1,156 @@
+// SMAWK: linear-time row minima of totally monotone arrays
+// (Aggarwal, Klawe, Moran, Shor, Wilber [AKM+87]).
+//
+// The core routine computes row minima of a totally monotone (e.g. Monge)
+// array in O(m + n) entry probes.  The paper's four problem variants --
+// {minima, maxima} x {Monge, inverse-Monge} -- are provided as wrappers
+// that compose the Negate / ReverseCols views of array.hpp, with the tie
+// policy arranged so that every wrapper returns the *leftmost* optimum of
+// the original array (the convention fixed in Section 1.2).
+#pragma once
+
+#include <vector>
+
+#include "monge/array.hpp"
+
+namespace pmonge::monge {
+
+namespace detail {
+
+/// Tie policy for the core: prefer_left keeps the earliest column among
+/// equal minima; !prefer_left keeps the latest.  Both are needed because
+/// the view compositions reverse column order.
+template <bool PreferLeft, Array2D A>
+void smawk_rec(const A& a, const std::vector<std::size_t>& rows,
+               std::vector<std::size_t> cols,
+               std::vector<RowOpt<typename A::value_type>>& result) {
+  using T = typename A::value_type;
+  if (rows.empty()) return;
+
+  // REDUCE: discard columns that cannot hold any row minimum until at most
+  // |rows| survive.  The stack invariant is the classic one: column
+  // stack[k] can still win only in rows k.. .
+  if (cols.size() > rows.size()) {
+    std::vector<std::size_t> stack;
+    stack.reserve(rows.size());
+    for (const std::size_t c : cols) {
+      for (;;) {
+        if (stack.empty()) break;
+        const std::size_t r = rows[stack.size() - 1];
+        const T incumbent = a(r, stack.back());
+        const T challenger = a(r, c);
+        const bool pop = PreferLeft ? (incumbent > challenger)
+                                    : (incumbent >= challenger);
+        if (!pop) break;
+        stack.pop_back();
+      }
+      if (stack.size() < rows.size()) stack.push_back(c);
+    }
+    cols = std::move(stack);
+  }
+
+  if (rows.size() == 1) {
+    RowOpt<T> best{a(rows[0], cols[0]), cols[0]};
+    for (std::size_t k = 1; k < cols.size(); ++k) {
+      const T v = a(rows[0], cols[k]);
+      const bool take = PreferLeft ? (v < best.value) : (v <= best.value);
+      if (take) best = {v, cols[k]};
+    }
+    result[rows[0]] = best;
+    return;
+  }
+
+  // Recurse on rows at odd positions (1, 3, 5, ...).
+  std::vector<std::size_t> half;
+  half.reserve(rows.size() / 2);
+  for (std::size_t p = 1; p < rows.size(); p += 2) half.push_back(rows[p]);
+  smawk_rec<PreferLeft>(a, half, cols, result);
+
+  // INTERPOLATE: each remaining row's minimum lies between the argmin
+  // column positions of its recursive neighbors (argmins are monotone).
+  std::size_t lo = 0;  // position within cols
+  for (std::size_t p = 0; p < rows.size(); p += 2) {
+    std::size_t hi = cols.size() - 1;
+    if (p + 1 < rows.size()) {
+      const std::size_t bound_col = result[rows[p + 1]].col;
+      hi = lo;
+      while (cols[hi] != bound_col) ++hi;
+    }
+    RowOpt<T> best{a(rows[p], cols[lo]), cols[lo]};
+    for (std::size_t k = lo + 1; k <= hi; ++k) {
+      const T v = a(rows[p], cols[k]);
+      const bool take = PreferLeft ? (v < best.value) : (v <= best.value);
+      if (take) best = {v, cols[k]};
+    }
+    result[rows[p]] = best;
+    lo = hi;
+  }
+}
+
+template <bool PreferLeft, Array2D A>
+std::vector<RowOpt<typename A::value_type>> smawk_run(const A& a) {
+  std::vector<RowOpt<typename A::value_type>> result(a.rows());
+  if (a.rows() == 0 || a.cols() == 0) {
+    for (auto& r : result) r = {inf<typename A::value_type>(), kNoCol};
+    return result;
+  }
+  std::vector<std::size_t> rows(a.rows()), cols(a.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  for (std::size_t j = 0; j < cols.size(); ++j) cols[j] = j;
+  smawk_rec<PreferLeft>(a, rows, cols, result);
+  return result;
+}
+
+}  // namespace detail
+
+/// Leftmost row minima of a Monge (or any totally monotone) array; O(m+n)
+/// probes.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> smawk_row_minima(const A& a) {
+  return detail::smawk_run<true>(a);
+}
+
+/// Leftmost row maxima of an inverse-Monge array (negation is Monge).
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> smawk_row_maxima_inverse_monge(
+    const A& a) {
+  Negate<A> neg(a);
+  auto mins = detail::smawk_run<true>(neg);
+  std::vector<RowOpt<typename A::value_type>> out(mins.size());
+  for (std::size_t i = 0; i < mins.size(); ++i) {
+    out[i] = {-mins[i].value, mins[i].col};
+  }
+  return out;
+}
+
+/// Leftmost row minima of an inverse-Monge array.  Column reversal turns
+/// the array Monge; the rightmost-tie core maps back to leftmost.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> smawk_row_minima_inverse_monge(
+    const A& a) {
+  ReverseCols<A> rev(a);
+  auto mins = detail::smawk_run<false>(rev);
+  const std::size_t n = a.cols();
+  for (auto& r : mins) {
+    if (r.col != kNoCol) r.col = n - 1 - r.col;
+  }
+  return mins;
+}
+
+/// Leftmost row maxima of a Monge array (Table 1.1's problem).
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> smawk_row_maxima_monge(
+    const A& a) {
+  Negate<A> neg(a);              // inverse-Monge
+  ReverseCols<decltype(neg)> rev(neg);  // Monge again
+  auto mins = detail::smawk_run<false>(rev);
+  const std::size_t n = a.cols();
+  std::vector<RowOpt<typename A::value_type>> out(mins.size());
+  for (std::size_t i = 0; i < mins.size(); ++i) {
+    out[i] = {-mins[i].value,
+              mins[i].col == kNoCol ? kNoCol : n - 1 - mins[i].col};
+  }
+  return out;
+}
+
+}  // namespace pmonge::monge

@@ -1,0 +1,277 @@
+// Normal-algorithm primitives on hypercubic networks: parallel prefix,
+// segmented prefix, broadcast, reduction, bitonic merging/sorting, cyclic
+// shift and the isotone (monotone) packet routing of Lemma 3.1.
+//
+// Every primitive is built solely from Engine::exchange / Engine::local,
+// so each one is a normal algorithm and runs unchanged (with the metered
+// constant-factor slowdown) on the shuffle-exchange and CCC hosts.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/engine.hpp"
+
+namespace pmonge::net {
+
+// ---------------------------------------------------------------------------
+// Prefix scans
+// ---------------------------------------------------------------------------
+
+/// Inclusive prefix scan by node index (ascend over dims 0..d-1, the
+/// classic (prefix, total) pair algorithm): d communication steps.
+template <class T, class Op>
+void prefix_scan(Engine& e, std::vector<T>& data, Op&& op) {
+  struct PT {
+    T pre, tot;
+  };
+  std::vector<PT> pt(e.size());
+  e.local(pt, [&](std::size_t u, PT& x) { x = {data[u], data[u]}; });
+  for (int k = 0; k < e.dims(); ++k) {
+    e.exchange(pt, k, [&](std::size_t, PT& lo, PT& hi) {
+      const T combined = op(lo.tot, hi.tot);
+      hi.pre = op(lo.tot, hi.pre);
+      lo.tot = combined;
+      hi.tot = combined;
+    });
+  }
+  e.local(pt, [&](std::size_t u, PT& x) { data[u] = x.pre; });
+}
+
+/// Segmented inclusive scan: seg[u] labels the segment of node u
+/// (non-decreasing); the scan restarts at each new label.
+template <class T, class Op>
+void segmented_prefix_scan(Engine& e, std::vector<T>& data,
+                           const std::vector<std::size_t>& seg, Op&& op) {
+  struct SV {
+    T v;
+    std::size_t s;
+  };
+  std::vector<SV> sv(e.size());
+  e.local(sv, [&](std::size_t u, SV& x) { x = {data[u], seg[u]}; });
+  // The segmented combine is associative (classic): a then b.
+  auto segop = [&](const SV& a, const SV& b) {
+    return SV{a.s == b.s ? op(a.v, b.v) : b.v, b.s};
+  };
+  struct PT {
+    SV pre, tot;
+  };
+  std::vector<PT> pt(e.size());
+  e.local(pt, [&](std::size_t u, PT& x) { x = {sv[u], sv[u]}; });
+  for (int k = 0; k < e.dims(); ++k) {
+    e.exchange(pt, k, [&](std::size_t, PT& lo, PT& hi) {
+      const SV combined = segop(lo.tot, hi.tot);
+      hi.pre = segop(lo.tot, hi.pre);
+      lo.tot = combined;
+      hi.tot = combined;
+    });
+  }
+  e.local(pt, [&](std::size_t u, PT& x) { data[u] = x.pre.v; });
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast and reduce
+// ---------------------------------------------------------------------------
+
+/// Broadcast the value at `root` to every node: d steps (descend).
+template <class T>
+void broadcast(Engine& e, std::vector<T>& data, std::size_t root) {
+  PMONGE_REQUIRE(root < e.size(), "root out of range");
+  // Descend dims; invariant: after processing dims d-1..k, the holders
+  // are exactly the nodes agreeing with root on the unprocessed dims
+  // (bits k-1..0).  Each step doubles the holder set across dim k.
+  for (int k = e.dims() - 1; k >= 0; --k) {
+    const std::size_t low_mask = (std::size_t{1} << k) - 1;
+    e.exchange(data, k, [&](std::size_t u, T& lo, T& hi) {
+      if ((u & low_mask) != (root & low_mask)) return;
+      if (root & (std::size_t{1} << k)) {
+        lo = hi;
+      } else {
+        hi = lo;
+      }
+    });
+  }
+}
+
+/// All-nodes reduction: after d ascend+swap steps every node holds the
+/// reduction of all values (allreduce).
+template <class T, class Op>
+void all_reduce(Engine& e, std::vector<T>& data, Op&& op) {
+  for (int k = 0; k < e.dims(); ++k) {
+    e.exchange(data, k, [&](std::size_t, T& lo, T& hi) {
+      const T combined = op(lo, hi);
+      lo = combined;
+      hi = combined;
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cyclic shift (via the prefix network) and bitonic merge / sort
+// ---------------------------------------------------------------------------
+
+/// Shift every value from node u to node u + delta (dropping values that
+/// fall off the ends; vacated nodes receive `fill`).  Implemented as a
+/// monotone bit-fixing route: |delta| in [0, 2^d), d steps.
+template <class T>
+void shift(Engine& e, std::vector<T>& data, std::ptrdiff_t delta,
+           const T& fill) {
+  struct Slot {
+    T v;
+    std::size_t dest;
+    bool full;
+  };
+  std::vector<Slot> s(e.size());
+  e.local(s, [&](std::size_t u, Slot& x) {
+    const std::ptrdiff_t d =
+        static_cast<std::ptrdiff_t>(u) + delta;
+    if (d < 0 || d >= static_cast<std::ptrdiff_t>(e.size())) {
+      x = {fill, 0, false};
+    } else {
+      x = {data[u], static_cast<std::size_t>(d), true};
+    }
+  });
+  for (int k = e.dims() - 1; k >= 0; --k) {
+    const std::size_t bit = std::size_t{1} << k;
+    e.exchange(s, k, [&](std::size_t u, Slot& lo, Slot& hi) {
+      const bool lo_up = lo.full && (lo.dest & bit);
+      const bool hi_down = hi.full && !(hi.dest & bit);
+      if (lo_up && hi_down) {
+        std::swap(lo, hi);
+      } else if (lo_up) {
+        if (hi.full) throw ModelViolation("shift collision");
+        hi = lo;
+        lo.full = false;
+      } else if (hi_down) {
+        if (lo.full) throw ModelViolation("shift collision");
+        lo = hi;
+        hi.full = false;
+      }
+      (void)u;
+    });
+  }
+  e.local(s, [&](std::size_t u, Slot& x) { data[u] = x.full ? x.v : fill; });
+}
+
+/// Compare-exchange network step helper for bitonic stages.
+template <class T, class Less>
+void bitonic_stage(Engine& e, std::vector<T>& data, int k, int j,
+                   Less&& less) {
+  e.exchange(data, j, [&](std::size_t u, T& lo, T& hi) {
+    const bool descending = (u >> (k + 1)) & 1;
+    const bool out_of_order = descending ? less(lo, hi) : less(hi, lo);
+    if (out_of_order) std::swap(lo, hi);
+  });
+}
+
+/// Full bitonic sort by `less`: d(d+1)/2 normal steps.
+template <class T, class Less>
+void bitonic_sort(Engine& e, std::vector<T>& data, Less&& less) {
+  for (int k = 0; k < e.dims(); ++k) {
+    for (int j = k; j >= 0; --j) bitonic_stage(e, data, k, j, less);
+  }
+}
+
+/// Merge two sorted halves (each of size 2^(d-1), concatenated) into one
+/// sorted sequence: reverse the upper half locally, then one bitonic
+/// merging sweep of d steps ([LLS89]'s O(lg m) hypercube merge).
+template <class T, class Less>
+void bitonic_merge_halves(Engine& e, std::vector<T>& data, Less&& less) {
+  if (e.dims() == 0) return;
+  // Reverse the upper half: route u -> (3*2^(d-1) - 1 - u); this is the
+  // dimension-wise bit flip of the low d-1 bits, d-1 exchange steps.
+  const std::size_t half = e.size() / 2;
+  for (int k = e.dims() - 2; k >= 0; --k) {
+    e.exchange(data, k, [&](std::size_t u, T& lo, T& hi) {
+      if (u & half) std::swap(lo, hi);  // only the upper half reverses
+    });
+  }
+  for (int j = e.dims() - 1; j >= 0; --j) {
+    e.exchange(data, j, [&](std::size_t, T& lo, T& hi) {
+      if (less(hi, lo)) std::swap(lo, hi);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Isotone (monotone) routing -- Lemma 3.1's data-distribution tool
+// ---------------------------------------------------------------------------
+
+/// A routable packet: empty nodes carry std::nullopt.
+template <class T>
+struct Packet {
+  T payload;
+  std::size_t dest;
+};
+
+namespace route_detail {
+
+/// One bit-fixing pass toward per-packet targets held in `target`.
+/// Throws ModelViolation on collision, making illegal uses self-detecting.
+template <class P>
+void fix_bit(Engine& e, std::vector<std::optional<P>>& slots, int k,
+             auto&& target) {
+  const std::size_t bit = std::size_t{1} << k;
+  e.exchange(slots, k,
+             [&](std::size_t, std::optional<P>& lo, std::optional<P>& hi) {
+               const bool lo_up = lo && (target(*lo) & bit);
+               const bool hi_down = hi && !(target(*hi) & bit);
+               if (lo_up && hi_down) {
+                 std::swap(lo, hi);
+               } else if (lo_up) {
+                 if (hi) throw ModelViolation("monotone_route collision");
+                 hi = std::move(lo);
+                 lo.reset();
+               } else if (hi_down) {
+                 if (lo) throw ModelViolation("monotone_route collision");
+                 lo = std::move(hi);
+                 hi.reset();
+               }
+             });
+}
+
+}  // namespace route_detail
+
+/// Route packets to their destinations when the source -> destination map
+/// is monotone (order-preserving) and injective -- the isotone routing of
+/// [LLS89] used throughout Section 3.  Classic two-phase Nassimi-Sahni
+/// scheme, 3d steps total, collision-free:
+///   concentrate -- rank packets by a prefix count and bit-fix LSB-first
+///                  into the packed prefix 0..k-1;
+///   spread      -- bit-fix MSB-first from the packed prefix to the
+///                  monotone destinations.
+/// (One-phase bit-fixing is NOT collision-free for general monotone
+/// routes; a stationary packet can block a mover.)  Any collision throws
+/// ModelViolation, so illegal uses are self-detecting.
+template <class T>
+void monotone_route(Engine& e, std::vector<std::optional<Packet<T>>>& slots) {
+  PMONGE_REQUIRE(slots.size() == e.size(), "slot vector size mismatch");
+  struct Ranked {
+    Packet<T> pkt;
+    std::size_t rank;
+  };
+  // Rank = exclusive prefix count of occupied slots.
+  std::vector<std::size_t> occ(e.size());
+  e.local(occ, [&](std::size_t u, std::size_t& x) {
+    x = slots[u] ? 1u : 0u;
+  });
+  prefix_scan(e, occ, [](std::size_t a, std::size_t b) { return a + b; });
+  std::vector<std::optional<Ranked>> r(e.size());
+  e.local(r, [&](std::size_t u, std::optional<Ranked>& x) {
+    if (slots[u]) x = Ranked{std::move(*slots[u]), occ[u] - 1};
+  });
+  for (int k = 0; k < e.dims(); ++k) {  // concentrate, LSB-first
+    route_detail::fix_bit(e, r, k, [](const Ranked& p) { return p.rank; });
+  }
+  for (int k = e.dims() - 1; k >= 0; --k) {  // spread, MSB-first
+    route_detail::fix_bit(e, r, k,
+                          [](const Ranked& p) { return p.pkt.dest; });
+  }
+  e.local(slots, [&](std::size_t u, std::optional<Packet<T>>& x) {
+    x.reset();
+    if (r[u]) x = std::move(r[u]->pkt);
+  });
+}
+
+}  // namespace pmonge::net

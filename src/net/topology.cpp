@@ -1,0 +1,117 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace pmonge::net {
+
+const char* topology_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::Hypercube:
+      return "hypercube";
+    case TopologyKind::CubeConnectedCycles:
+      return "cube-connected-cycles";
+    case TopologyKind::ShuffleExchange:
+      return "shuffle-exchange";
+  }
+  return "?";
+}
+
+bool Hypercube::adjacent(std::size_t u, std::size_t v) const {
+  const std::size_t x = u ^ v;
+  return x != 0 && (x & (x - 1)) == 0 && x < size();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Hypercube::edges() const {
+  std::vector<std::pair<std::size_t, std::size_t>> e;
+  for (std::size_t u = 0; u < size(); ++u) {
+    for (int k = 0; k < dims; ++k) {
+      const std::size_t v = neighbor(u, k);
+      if (u < v) e.emplace_back(u, v);
+    }
+  }
+  return e;
+}
+
+bool CubeConnectedCycles::adjacent(std::size_t u, std::size_t v) const {
+  if (u == v) return false;
+  const std::size_t cu = corner(u), cv = corner(v);
+  const int pu = pos(u), pv = pos(v);
+  if (cu == cv) {
+    const int d = dims;
+    const int diff = (pu - pv + d) % d;
+    return diff == 1 || diff == d - 1;
+  }
+  return pu == pv && (cu ^ cv) == (std::size_t{1} << pu);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> CubeConnectedCycles::edges()
+    const {
+  std::vector<std::pair<std::size_t, std::size_t>> e;
+  const std::size_t corners = std::size_t{1} << dims;
+  for (std::size_t c = 0; c < corners; ++c) {
+    for (int l = 0; l < dims; ++l) {
+      if (dims > 1) {
+        const std::size_t a = node_id(c, l);
+        const std::size_t b = node_id(c, (l + 1) % dims);
+        e.emplace_back(std::min(a, b), std::max(a, b));
+      }
+      const std::size_t other = c ^ (std::size_t{1} << l);
+      if (c < other) e.emplace_back(node_id(c, l), node_id(other, l));
+    }
+  }
+  // Length-2 cycles (dims == 2) and the wrap edge both insert (a, b)
+  // twice; dedupe.
+  std::sort(e.begin(), e.end());
+  e.erase(std::unique(e.begin(), e.end()), e.end());
+  return e;
+}
+
+bool ShuffleExchange::adjacent(std::size_t u, std::size_t v) const {
+  if (u == v) return false;
+  return v == exchange(u) || v == shuffle(u) || u == shuffle(v);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> ShuffleExchange::edges()
+    const {
+  std::vector<std::pair<std::size_t, std::size_t>> e;
+  for (std::size_t u = 0; u < size(); ++u) {
+    if (u < exchange(u)) e.emplace_back(u, exchange(u));
+    const std::size_t s = shuffle(u);
+    if (u < s) e.emplace_back(u, s);
+    if (u == s && u != exchange(u)) continue;  // self-loop at 0...0 / 1...1
+  }
+  std::sort(e.begin(), e.end());
+  e.erase(std::unique(e.begin(), e.end()), e.end());
+  return e;
+}
+
+bool edges_connected(
+    std::size_t n,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  if (n == 0) return true;
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<std::size_t> stack;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::size_t components = n;
+  for (const auto& [u, v] : edges) {
+    PMONGE_REQUIRE(u < n && v < n, "edge endpoint out of range");
+    const auto ru = find(u), rv = find(v);
+    if (ru != rv) {
+      parent[ru] = rv;
+      --components;
+    }
+  }
+  return components == 1;
+}
+
+}  // namespace pmonge::net

@@ -1,0 +1,82 @@
+// Interconnection-network topologies of Section 3: hypercube,
+// cube-connected cycles (CCC) and shuffle-exchange, as explicit edge sets.
+//
+// The Engine (engine.hpp) runs *normal* hypercube algorithms -- algorithms
+// that use one dimension per step, consecutive dimensions in consecutive
+// steps -- which is exactly the class that CCC and shuffle-exchange
+// emulate with constant slowdown (the "hypercube, etc." rows of Tables
+// 1.1-1.3).  This header owns the graph-theoretic side: node counts,
+// adjacency predicates and edge enumeration, used by the engine for its
+// charging rules and by the tests for structural invariants (degree
+// bounds, connectivity, emulation legality).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmonge::net {
+
+enum class TopologyKind { Hypercube, CubeConnectedCycles, ShuffleExchange };
+
+const char* topology_name(TopologyKind k);
+
+/// d-dimensional hypercube: 2^d nodes, edges u ~ u ^ (1 << k).
+struct Hypercube {
+  int dims;
+  std::size_t size() const { return std::size_t{1} << dims; }
+  std::size_t neighbor(std::size_t u, int dim) const {
+    return u ^ (std::size_t{1} << dim);
+  }
+  bool adjacent(std::size_t u, std::size_t v) const;
+  std::vector<std::pair<std::size_t, std::size_t>> edges() const;
+};
+
+/// Cube-connected cycles CCC(d): each hypercube corner c becomes a cycle
+/// of d nodes (c, l); cycle edges (c,l)~(c,l+1 mod d) and one cross edge
+/// (c,l)~(c ^ (1<<l), l) per position.  Constant degree 3.
+struct CubeConnectedCycles {
+  int dims;
+  std::size_t size() const {
+    return (std::size_t{1} << dims) * static_cast<std::size_t>(dims);
+  }
+  std::size_t node_id(std::size_t corner, int pos) const {
+    return corner * static_cast<std::size_t>(dims) +
+           static_cast<std::size_t>(pos);
+  }
+  std::size_t corner(std::size_t id) const {
+    return id / static_cast<std::size_t>(dims);
+  }
+  int pos(std::size_t id) const {
+    return static_cast<int>(id % static_cast<std::size_t>(dims));
+  }
+  bool adjacent(std::size_t u, std::size_t v) const;
+  std::vector<std::pair<std::size_t, std::size_t>> edges() const;
+};
+
+/// Shuffle-exchange graph on 2^d nodes: exchange edges u ~ u ^ 1 and
+/// shuffle edges u ~ rotate_left(u) (undirected).  Constant degree 3.
+struct ShuffleExchange {
+  int dims;
+  std::size_t size() const { return std::size_t{1} << dims; }
+  std::size_t shuffle(std::size_t u) const {  // rotate-left within d bits
+    const std::size_t mask = size() - 1;
+    return ((u << 1) | (u >> (dims - 1))) & mask;
+  }
+  std::size_t unshuffle(std::size_t u) const {  // rotate-right
+    const std::size_t mask = size() - 1;
+    return ((u >> 1) | (u << (dims - 1))) & mask;
+  }
+  std::size_t exchange(std::size_t u) const { return u ^ 1; }
+  bool adjacent(std::size_t u, std::size_t v) const;
+  std::vector<std::pair<std::size_t, std::size_t>> edges() const;
+};
+
+/// Is the whole edge list connected over n nodes?  (Test helper.)
+bool edges_connected(std::size_t n,
+                     const std::vector<std::pair<std::size_t, std::size_t>>&
+                         edges);
+
+}  // namespace pmonge::net

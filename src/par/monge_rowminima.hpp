@@ -1,0 +1,234 @@
+// Parallel row minima / maxima of Monge and inverse-Monge arrays on a
+// simulated PRAM ([AP89a]; used as the base primitive by Section 2).
+//
+// Structure (the sqrt-decomposition double recursion):
+//   square m x m:  sample every s-th row with s = floor(sqrt(m)); solve the
+//                  sampled sqrt(m) x m array (the wide case below); the
+//                  leftmost argmins j(1) <= j(2) <= ... bracket the
+//                  remaining rows into groups, each group a Monge subarray
+//                  of < s rows whose column ranges overlap only at
+//                  endpoints; solve all groups recursively in parallel.
+//   m > n (Lemma 2.1 Case 1):  sample every ceil(m/n)-th row, solve the
+//                  resulting <= n x n array, then the fill-in regions hold
+//                  only O(m) candidate entries; search them directly.
+//   n > m (Lemma 2.1 Case 2):  split the columns into ceil(n/m) blocks of
+//                  <= m columns, solve the square blocks in parallel, and
+//                  take each row's best block winner.
+//
+// Charged depth obeys D(m) = 2 D(sqrt(m)) + O(level), where `level` is
+// O(lglg m) on CRCW (doubly-log interval minima) and O(lg m) on CREW
+// (tree minima), giving the Table 1.1 shapes O(lg n) and O(lg n lglg n)
+// respectively, with O(n) peak processors -- measured, not assumed; the
+// benchmarks fit the series.
+//
+// Implementation note: recursion operates on an explicit row-id vector
+// plus a contiguous column range over a single entry evaluator, so the
+// compiler sees one instantiation per input array type (nesting SubArray/
+// RowSelect view types recursively would blow up template depth).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "monge/array.hpp"
+#include "pram/machine.hpp"
+#include "pram/primitives.hpp"
+#include "support/series.hpp"
+
+namespace pmonge::par {
+
+using monge::Array2D;
+using monge::kNoCol;
+using monge::RowOpt;
+
+namespace detail {
+
+/// Ranged argopt over columns [lo, hi] of one row, with tie policy.
+template <bool PreferLeft, class T, class EvalF>
+RowOpt<T> row_range_opt(pram::Machine& m, const EvalF& eval, std::size_t row,
+                        std::size_t lo, std::size_t hi) {
+  const std::size_t width = hi - lo + 1;
+  auto res = pram::argopt<T>(
+      m, width,
+      [&](std::size_t t) { return eval(row, PreferLeft ? lo + t : hi - t); },
+      [](const T& x, const T& y) { return x < y; });
+  return {res.value, PreferLeft ? lo + res.index : hi - res.index};
+}
+
+/// Core recursion: leftmost (PreferLeft) or rightmost row minima of the
+/// Monge array eval restricted to `rows` x [clo, chi].  Returns results
+/// aligned with `rows`; column indices are global.
+template <bool PreferLeft, class T, class EvalF>
+std::vector<RowOpt<T>> rowmin_rec(pram::Machine& mach, const EvalF& eval,
+                                  std::span<const std::size_t> rows,
+                                  std::size_t clo, std::size_t chi) {
+  const std::size_t m = rows.size();
+  std::vector<RowOpt<T>> out(m);
+  if (m == 0) return out;
+  const std::size_t n = chi - clo + 1;
+
+  if (m <= 4 || n <= 4 || m * n <= 64) {
+    mach.parallel_branches(m, [&](std::size_t i, pram::Machine& sub) {
+      out[i] = row_range_opt<PreferLeft, T>(sub, eval, rows[i], clo, chi);
+    });
+    return out;
+  }
+
+  if (n > m) {
+    // Lemma 2.1 Case 2: column blocks of <= m columns solved in parallel,
+    // then per-row argopt over block winners (ordered so index ties give
+    // the right tie policy on the global column).
+    const std::size_t nb = (n + m - 1) / m;
+    std::vector<std::vector<RowOpt<T>>> block(nb);
+    mach.parallel_branches(nb, [&](std::size_t b, pram::Machine& sub) {
+      const std::size_t lo = clo + b * m;
+      const std::size_t hi = std::min(chi, lo + m - 1);
+      block[b] = rowmin_rec<PreferLeft, T>(sub, eval, rows, lo, hi);
+    });
+    mach.parallel_branches(m, [&](std::size_t i, pram::Machine& sub) {
+      auto res = pram::argopt<T>(
+          sub, nb,
+          [&](std::size_t b) {
+            return block[PreferLeft ? b : nb - 1 - b][i].value;
+          },
+          [](const T& x, const T& y) { return x < y; });
+      out[i] = block[PreferLeft ? res.index : nb - 1 - res.index][i];
+    });
+    return out;
+  }
+
+  // Sample stride: sqrt for squares, ceil(m/n) when m > n (Case 1, whose
+  // fill-in is small enough to search directly).
+  const bool recurse_groups = (m <= n);
+  const std::size_t stride =
+      recurse_groups ? std::max<std::size_t>(2, pmonge::isqrt(m))
+                     : (m + n - 1) / n;
+
+  std::vector<std::size_t> sampled_pos;
+  for (std::size_t p = stride - 1; p < m; p += stride) sampled_pos.push_back(p);
+  if (sampled_pos.empty()) sampled_pos.push_back(m - 1);
+  std::vector<std::size_t> sampled_rows(sampled_pos.size());
+  for (std::size_t t = 0; t < sampled_pos.size(); ++t) {
+    sampled_rows[t] = rows[sampled_pos[t]];
+  }
+  auto sub = rowmin_rec<PreferLeft, T>(mach, eval, sampled_rows, clo, chi);
+  mach.meter().charge(1, sub.size());
+  for (std::size_t t = 0; t < sampled_pos.size(); ++t) {
+    out[sampled_pos[t]] = sub[t];
+  }
+
+  // Fill-in groups between consecutive sampled positions; argopt
+  // monotonicity brackets each group's columns (non-decreasing for both
+  // tie policies on this orientation).
+  struct Bracket {
+    std::size_t p0, p1;  // positions [p0, p1) within `rows`
+    std::size_t lo, hi;  // global column bracket
+  };
+  std::vector<Bracket> groups;
+  std::size_t prev_pos = 0;
+  std::size_t prev_col = clo;
+  for (std::size_t t = 0; t <= sampled_pos.size(); ++t) {
+    const std::size_t next_pos =
+        t < sampled_pos.size() ? sampled_pos[t] : m;
+    const std::size_t next_col = t < sampled_pos.size() ? sub[t].col : chi;
+    // Monotone argopt positions are the load-bearing Monge consequence;
+    // an inversion means the caller's array violates its claimed
+    // property -- fail loudly instead of searching a bogus bracket.
+    PMONGE_REQUIRE(next_col >= prev_col,
+                   "argopt positions not monotone: input array is not "
+                   "Monge/inverse-Monge as claimed");
+    if (next_pos > prev_pos) {
+      groups.push_back({prev_pos, next_pos, prev_col, next_col});
+    }
+    prev_pos = next_pos + 1;
+    prev_col = next_col;
+  }
+
+  mach.parallel_branches(groups.size(), [&](std::size_t g,
+                                            pram::Machine& gm) {
+    const Bracket& b = groups[g];
+    const auto grows = rows.subspan(b.p0, b.p1 - b.p0);
+    if (recurse_groups) {
+      auto res = rowmin_rec<PreferLeft, T>(gm, eval, grows, b.lo, b.hi);
+      gm.meter().charge(1, res.size());
+      for (std::size_t i = 0; i < res.size(); ++i) out[b.p0 + i] = res[i];
+    } else {
+      gm.parallel_branches(grows.size(), [&](std::size_t i,
+                                             pram::Machine& rm) {
+        out[b.p0 + i] =
+            row_range_opt<PreferLeft, T>(rm, eval, grows[i], b.lo, b.hi);
+      });
+    }
+  });
+  return out;
+}
+
+template <bool PreferLeft, class T, class EvalF>
+std::vector<RowOpt<T>> rowmin_entry(pram::Machine& mach, std::size_t m,
+                                    std::size_t n, const EvalF& eval) {
+  std::vector<RowOpt<T>> empty_out(m, RowOpt<T>{monge::inf<T>(), kNoCol});
+  if (m == 0 || n == 0) return empty_out;
+  std::vector<std::size_t> rows(m);
+  for (std::size_t i = 0; i < m; ++i) rows[i] = i;
+  return rowmin_rec<PreferLeft, T>(mach, eval, rows, 0, n - 1);
+}
+
+}  // namespace detail
+
+/// Leftmost row minima of a Monge array on the simulated PRAM whose model
+/// `mach` carries.  Charged depth: O(lg n) on CRCW models; O(lg n lglg n)
+/// under Brent scheduling at n/lglg n processors on CREW.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> monge_row_minima(
+    pram::Machine& mach, const A& a) {
+  using T = typename A::value_type;
+  auto eval = [&a](std::size_t i, std::size_t j) { return a(i, j); };
+  return detail::rowmin_entry<true, T>(mach, a.rows(), a.cols(), eval);
+}
+
+/// Leftmost row maxima of a Monge array (Table 1.1's problem), via the
+/// negate + reverse-columns reduction with a rightmost-tie core.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> monge_row_maxima(
+    pram::Machine& mach, const A& a) {
+  using T = typename A::value_type;
+  const std::size_t n = a.cols();
+  auto eval = [&a, n](std::size_t i, std::size_t j) {
+    return -a(i, n - 1 - j);
+  };
+  auto mins = detail::rowmin_entry<false, T>(mach, a.rows(), n, eval);
+  for (auto& r : mins) {
+    r = {-r.value, r.col == kNoCol ? kNoCol : n - 1 - r.col};
+  }
+  return mins;
+}
+
+/// Leftmost row maxima of an inverse-Monge array (e.g. the convex-polygon
+/// distance arrays of Figure 1.1).
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> inverse_monge_row_maxima(
+    pram::Machine& mach, const A& a) {
+  using T = typename A::value_type;
+  auto eval = [&a](std::size_t i, std::size_t j) { return -a(i, j); };
+  auto mins = detail::rowmin_entry<true, T>(mach, a.rows(), a.cols(), eval);
+  for (auto& r : mins) r.value = -r.value;
+  return mins;
+}
+
+/// Leftmost row minima of an inverse-Monge array.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> inverse_monge_row_minima(
+    pram::Machine& mach, const A& a) {
+  using T = typename A::value_type;
+  const std::size_t n = a.cols();
+  auto eval = [&a, n](std::size_t i, std::size_t j) {
+    return a(i, n - 1 - j);
+  };
+  auto mins = detail::rowmin_entry<false, T>(mach, a.rows(), n, eval);
+  for (auto& r : mins) {
+    if (r.col != kNoCol) r.col = n - 1 - r.col;
+  }
+  return mins;
+}
+
+}  // namespace pmonge::par

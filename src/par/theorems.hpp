@@ -1,0 +1,83 @@
+// Paper-to-code map: every numbered result of the paper as a named entry
+// point, with its claimed bound in the doc comment and the implementing
+// routine in the body.  Use these when you want the paper's statement;
+// use the underlying headers when you want the knobs (schedules,
+// strategies, tie policies).
+//
+//   Lemma 2.1      m x n Monge row minima, O(lg m + lg n) CRCW time,
+//                  m/lg m + n processors.
+//   Theorem 2.3    n x n staircase-Monge row minima, O(lg n) CRCW /
+//                  O(lg n lglg n) CREW.
+//   Corollary 2.4  m x n staircase-Monge row minima, O(lg m + lg n) CRCW.
+//   Theorem 3.2    n x n Monge row maxima on an (n/lglg n)-processor
+//                  hypercube, O(lg n lglg n).
+//   Theorem 3.3    staircase row minima, same network bounds.
+//   Theorem 3.4    n x n x n tube maxima on an n^2-processor hypercube,
+//                  O(lg n).
+//
+// (Table 1.1's row-maxima problem and the tube problems live in
+// par/monge_rowminima.hpp and par/tube_maxima.hpp.)
+#pragma once
+
+#include "par/hypercube_search.hpp"
+#include "par/monge_rowminima.hpp"
+#include "par/staircase_rowminima.hpp"
+#include "par/tube_maxima.hpp"
+
+namespace pmonge::par {
+
+/// Lemma 2.1: row minima of an m x n Monge array.  Charged O(lg m + lg n)
+/// depth on CRCW machines (the rectangular cases of the sqrt recursion).
+template <monge::Array2D A>
+std::vector<RowOpt<typename A::value_type>> lemma_2_1_row_minima(
+    pram::Machine& mach, const A& a) {
+  return monge_row_minima(mach, a);
+}
+
+/// Theorem 2.3: row minima of an n x n staircase-Monge array.
+/// CRCW: O(lg n) depth (MaxParallel schedule).  On a CREW machine the
+/// Brent-scheduled time at n/lglg n processors is O(lg n lglg n).
+template <monge::Array2D A>
+std::vector<RowOpt<typename A::value_type>> theorem_2_3_row_minima(
+    pram::Machine& mach, const monge::StaircaseArray<A>& s) {
+  return staircase_row_minima(mach, s, StaircaseSchedule::MaxParallel);
+}
+
+/// Corollary 2.4: the rectangular m x n staircase case; same entry point
+/// (the decomposition is shape-agnostic), named for the paper mapping.
+template <monge::Array2D A>
+std::vector<RowOpt<typename A::value_type>> corollary_2_4_row_minima(
+    pram::Machine& mach, const monge::StaircaseArray<A>& s) {
+  return staircase_row_minima(mach, s, StaircaseSchedule::MaxParallel);
+}
+
+/// Theorem 3.2: row maxima of an n x n Monge array on a hypercubic
+/// network, given the paper's distance-vector data model
+/// a[i][j] = f(v[i], w[j]).  Measured O(lg^2 n) normal steps (the paper's
+/// omitted construction claims O(lg n lglg n); see EXPERIMENTS.md).
+template <class T, class V, class F>
+std::vector<monge::RowOpt<T>> theorem_3_2_row_maxima(net::Engine& engine,
+                                                     const std::vector<V>& v,
+                                                     const std::vector<V>& w,
+                                                     F&& f) {
+  return hc_monge_row_maxima<T>(engine, v, w, std::forward<F>(f));
+}
+
+/// Theorem 3.3: staircase-Monge row minima on a hypercubic network.
+template <class T, class EvalF>
+std::pair<std::vector<monge::RowOpt<T>>, HcAggregate>
+theorem_3_3_row_minima(net::TopologyKind kind, std::size_t m, std::size_t n,
+                       const std::vector<std::size_t>& frontier,
+                       const EvalF& eval) {
+  return hc_staircase_row_minima<T>(kind, m, n, frontier, eval);
+}
+
+/// Theorem 3.4: tube maxima of an n x n x n Monge-composite array on an
+/// n^2-processor hypercubic network.
+template <monge::Array2D D, monge::Array2D E>
+std::pair<monge::TubePlane<typename D::value_type>, HcAggregate>
+theorem_3_4_tube_maxima(net::TopologyKind kind, const D& d, const E& e) {
+  return hc_tube_maxima(kind, d, e);
+}
+
+}  // namespace pmonge::par

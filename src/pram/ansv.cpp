@@ -1,0 +1,50 @@
+#include "pram/ansv.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/series.hpp"
+
+namespace pmonge::pram {
+
+AnsvResult ansv_seq(std::span<const std::int64_t> a) {
+  const std::size_t n = a.size();
+  AnsvResult r;
+  r.left.assign(n, AnsvResult::kNone);
+  r.right.assign(n, AnsvResult::kNone);
+  std::vector<std::size_t> stack;
+  stack.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    while (!stack.empty() && a[stack.back()] >= a[i]) stack.pop_back();
+    if (!stack.empty()) r.left[i] = stack.back();
+    stack.push_back(i);
+  }
+  stack.clear();
+  for (std::size_t ii = n; ii-- > 0;) {
+    while (!stack.empty() && a[stack.back()] >= a[ii]) stack.pop_back();
+    if (!stack.empty()) r.right[ii] = stack.back();
+    stack.push_back(ii);
+  }
+  return r;
+}
+
+AnsvResult ansv(Machine& m, std::span<const std::int64_t> a) {
+  const std::size_t n = a.size();
+  if (n == 0) return {};
+  // Charge the blocked parallel algorithm:
+  //   block size b = ceil(lg n); n/b blocks
+  //   (1) block minima:            b steps with n/b processors
+  //   (2) tree over block minima:  lg(n/b) steps
+  //   (3) per element: scan own block (b steps) + tree search (lg steps)
+  //       + scan the located block (b steps), all elements in parallel.
+  const auto lgn = static_cast<std::uint64_t>(std::max(1, ceil_lg(n)));
+  const std::uint64_t b = lgn;
+  const std::uint64_t blocks = (n + b - 1) / b;
+  m.meter().charge(b, blocks, n);               // (1)
+  m.meter().charge(lgn, blocks, 2 * blocks);    // (2)
+  m.meter().charge(2 * b + lgn, n, n * (2 * b + lgn));  // (3)
+  // Host execution: the stack algorithm yields the identical answer.
+  return ansv_seq(a);
+}
+
+}  // namespace pmonge::pram

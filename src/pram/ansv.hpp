@@ -1,0 +1,40 @@
+// All Nearest Smaller Values (ANSV), the processor-allocation workhorse of
+// Lemma 2.2: for each element of a sequence, find the nearest element to
+// its left and to its right that is strictly smaller.
+//
+// Berkman, Breslauer, Galil, Schieber and Vishkin [BBG+89] solve ANSV in
+// O(lg n) time with n/lg n CREW processors.  This module provides
+//   * ansv_seq  -- the classic O(n) stack algorithm (host baseline), and
+//   * ansv      -- a metered simulation of the blocked parallel algorithm
+//                  (block minima + complete tree over blocks + per-element
+//                  block scan and tree descent), charged at O(lg n) steps
+//                  with n processors / O(n lg n) work.  That charge keeps
+//                  every bound in Section 2 intact: the CRCW rows use n
+//                  processors, and under Brent scheduling at p = n/lglg n
+//                  the work term contributes lg n lglg n, matching the
+//                  CREW row of Table 1.2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/machine.hpp"
+
+namespace pmonge::pram {
+
+struct AnsvResult {
+  // left[i]  = largest j < i with a[j] < a[i], or kNone
+  // right[i] = smallest j > i with a[j] < a[i], or kNone
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+};
+
+/// Sequential stack-based ANSV; O(n).
+AnsvResult ansv_seq(std::span<const std::int64_t> a);
+
+/// Metered parallel ANSV; identical output to ansv_seq.
+AnsvResult ansv(Machine& m, std::span<const std::int64_t> a);
+
+}  // namespace pmonge::pram

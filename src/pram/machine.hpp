@@ -1,0 +1,109 @@
+// PRAM simulator with charged-step cost accounting.
+//
+// The paper's results are stated for CREW and CRCW PRAMs.  Neither exists
+// as hardware, so this module *simulates* them: algorithms are expressed in
+// terms of synchronous parallel primitives, each primitive executes on the
+// host (optionally via OpenMP) and charges its textbook parallel depth and
+// work to a meter.  The meter's three outputs -- parallel time (steps),
+// work (processor-steps) and peak concurrent processors -- are exactly the
+// quantities the paper's Tables 1.1-1.3 bound, so measured series can be
+// compared against the claimed shapes on any host.
+//
+// Model enforcement: the simulator does not merely *trust* an algorithm's
+// claimed model.  Scatter writes performed under CREW are checked for
+// write conflicts, and COMMON-CRCW writes are checked for disagreeing
+// concurrent values; violations throw pmonge::ModelViolation, and tests
+// assert both that legal algorithms never trip the checks and that rigged
+// conflicting programs do.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pmonge::pram {
+
+/// PRAM submodel.  Concurrent reads are always allowed (all models here
+/// are at least CREW); the submodel governs concurrent *writes*.
+enum class Model {
+  CREW,            // exclusive write: concurrent writes are a model violation
+  CRCW_COMMON,     // concurrent writes allowed iff all writers agree
+  CRCW_ARBITRARY,  // one arbitrary writer wins (simulator: lowest proc id)
+  CRCW_PRIORITY,   // lowest-numbered processor wins
+  CRCW_COMBINING,  // writes combined with an associative operator
+};
+
+const char* model_name(Model m);
+bool is_crcw(Model m);
+
+/// Charged-cost accumulator.
+///
+/// time  -- parallel steps (the paper's "time")
+/// work  -- total operations across all processors (processor-time product
+///          actually consumed, i.e. sum over steps of active processors)
+/// peak_processors -- maximum processors active in any single step
+struct CostMeter {
+  std::uint64_t time = 0;
+  std::uint64_t work = 0;
+  std::uint64_t peak_processors = 0;
+
+  /// Charge `steps` synchronous steps with `procs` active processors.
+  /// `ops` defaults to steps*procs; pass it explicitly when activity decays
+  /// geometrically (e.g. a reduction tree does n + n/2 + ... ~ 2n ops over
+  /// lg n steps, not n lg n).
+  void charge(std::uint64_t steps, std::uint64_t procs);
+  void charge(std::uint64_t steps, std::uint64_t procs, std::uint64_t ops);
+
+  /// Brent's theorem: running this computation on p physical processors
+  /// takes at most work/p + time steps.  This is how the simulator reports
+  /// the paper's processor-count columns (e.g. n/lglg n processors).
+  double brent_time(std::uint64_t p) const;
+
+  void reset();
+};
+
+/// A simulated PRAM.  Cheap to construct; algorithms take `Machine&` and
+/// express all array touches through the primitives in primitives.hpp so
+/// the meter stays honest.
+class Machine {
+ public:
+  explicit Machine(Model model) : model_(model) {}
+
+  Model model() const { return model_; }
+  CostMeter& meter() { return meter_; }
+  const CostMeter& meter() const { return meter_; }
+
+  /// Run `k` independent branches that the algorithm executes in parallel
+  /// (e.g. row minima of many disjoint subarrays).  Each branch runs on a
+  /// fresh sub-machine of the same model; afterwards the parent meter
+  /// advances by the *maximum* branch time, the *sum* of branch work, and
+  /// peak processors equal to the sum of branch peaks (all branches are
+  /// concurrently active in the simulated machine).
+  template <class F>
+  void parallel_branches(std::size_t k, F&& run_branch) {
+    if (k == 0) return;
+    std::uint64_t max_time = 0;
+    std::uint64_t sum_work = 0;
+    std::uint64_t sum_peak = 0;
+    for (std::size_t b = 0; b < k; ++b) {
+      Machine sub(model_);
+      run_branch(b, sub);
+      max_time = std::max(max_time, sub.meter().time);
+      sum_work += sub.meter().work;
+      sum_peak += sub.meter().peak_processors;
+    }
+    meter_.time += max_time;
+    meter_.work += sum_work;
+    meter_.peak_processors = std::max(meter_.peak_processors, sum_peak);
+  }
+
+ private:
+  Model model_;
+  CostMeter meter_;
+};
+
+}  // namespace pmonge::pram

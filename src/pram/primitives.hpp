@@ -1,0 +1,373 @@
+// Metered PRAM primitives.
+//
+// Every primitive executes on the host (producing exactly the result the
+// simulated machine would) and charges the machine's meter with the
+// textbook parallel depth and work of the corresponding PRAM algorithm:
+//
+//   parallel_for          1 step, n processors
+//   broadcast             1 step (concurrent read is free on CREW/CRCW)
+//   reduce / argopt CREW  ceil(lg n) steps, ~2n work (balanced tree)
+//   argopt CRCW           O(lglg n) steps, O(n) work per round
+//                         (the doubly-logarithmic accelerated-cascading
+//                         max-finding of Valiant / Shiloach-Vishkin,
+//                         executed round by round)
+//   argopt COMBINING      1 step (min/max-combining concurrent write)
+//   prefix_scan           2 ceil(lg n) steps, ~4n work (Blelchoch up/down)
+//   scatter_write         1 step, with *real* write-conflict detection
+//   parallel_merge        ceil(lg n) steps (cross-ranking binary search)
+//   merge_sort            ceil(lg n)^2 steps, n lg n work
+//   radix_sort            O(bits * lg n) steps (stable bit split via scans)
+//   pack                  2 ceil(lg n) + 1 steps (scan + scatter)
+//
+// Algorithms in src/par never touch arrays except through these, so the
+// measured step/work series reported by the benchmarks are honest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "support/check.hpp"
+#include "support/series.hpp"
+
+#if defined(PMONGE_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace pmonge::pram {
+
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/// Result of a parallel argmin/argmax.
+template <class T>
+struct OptResult {
+  T value{};
+  std::size_t index = kNoIndex;
+};
+
+// ---------------------------------------------------------------------------
+// Elementwise parallelism
+// ---------------------------------------------------------------------------
+
+/// Execute body(i) for i in [0, n) as one synchronous step with n
+/// processors.  Bodies must be independent (the simulator runs them in an
+/// unspecified order, possibly concurrently via OpenMP).
+template <class F>
+void parallel_for(Machine& m, std::size_t n, F&& body) {
+  if (n == 0) return;
+  m.meter().charge(1, n);
+#if defined(PMONGE_HAVE_OPENMP)
+  if (n >= 4096) {
+    const auto sn = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < sn; ++i) body(static_cast<std::size_t>(i));
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+/// Concurrent read of one shared cell by n processors: a single step on
+/// any concurrent-read model.
+template <class F>
+void broadcast(Machine& m, std::size_t n, F&& body) {
+  if (n == 0) return;
+  m.meter().charge(1, n);
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+// ---------------------------------------------------------------------------
+// Reductions and parallel argmin / argmax
+// ---------------------------------------------------------------------------
+
+/// Tree reduction of eval(0..n-1) under `op`; CREW cost (lg-depth tree).
+template <class T, class Eval, class Op>
+T reduce(Machine& m, std::size_t n, Eval&& eval, Op&& op, T identity) {
+  if (n == 0) return identity;
+  m.meter().charge(static_cast<std::uint64_t>(ceil_lg(n)),
+                   (n + 1) / 2, 2 * n);
+  T acc = identity;
+  for (std::size_t i = 0; i < n; ++i) acc = op(acc, eval(i));
+  return acc;
+}
+
+namespace detail {
+
+/// Doubly-logarithmic CRCW argopt round schedule: candidate set sizes fall
+/// as s -> s / g with g = max(2, n / s), reaching 1 in O(lglg n) rounds
+/// while every round uses at most ~2n processors (g^2 per group, s/g
+/// groups => s*g <= 2n).  `better(a, b)` returns true when a strictly
+/// beats b; ties resolve to the smaller index.
+template <class T, class Better>
+OptResult<T> crcw_argopt(Machine& m, std::vector<OptResult<T>> cand,
+                         Better&& better) {
+  const std::size_t n = cand.size();
+  while (cand.size() > 1) {
+    const std::size_t s = cand.size();
+    std::size_t g = std::max<std::size_t>(2, n / s);
+    g = std::min(g, s);
+    const std::size_t groups = (s + g - 1) / g;
+    // One step of all-pairs loser-marking (COMMON writes of `true` agree)
+    // plus one step in which the unique unmarked processor in each group
+    // writes the winner.
+    m.meter().charge(2, s * g, s * g + s);
+    std::vector<OptResult<T>> next;
+    next.reserve(groups);
+    for (std::size_t b = 0; b < groups; ++b) {
+      const std::size_t lo = b * g;
+      const std::size_t hi = std::min(s, lo + g);
+      OptResult<T> best = cand[lo];
+      for (std::size_t i = lo + 1; i < hi; ++i) {
+        if (better(cand[i], best)) best = cand[i];
+      }
+      next.push_back(best);
+    }
+    cand = std::move(next);
+  }
+  return cand.empty() ? OptResult<T>{} : cand[0];
+}
+
+}  // namespace detail
+
+/// Parallel argmin over eval(0..n-1) with `less`; leftmost winner on ties.
+/// Depth depends on the machine model:
+///   CREW            ceil(lg n)            (balanced tree)
+///   CRCW common/arb/pri   O(lglg n)       (doubly-log cascading)
+///   CRCW combining  1                     (min-combining write)
+template <class T, class Eval, class Less>
+OptResult<T> argopt(Machine& m, std::size_t n, Eval&& eval, Less&& less) {
+  if (n == 0) return {};
+  auto better = [&](const OptResult<T>& a, const OptResult<T>& b) {
+    if (less(a.value, b.value)) return true;
+    if (less(b.value, a.value)) return false;
+    return a.index < b.index;
+  };
+  switch (m.model()) {
+    case Model::CREW: {
+      m.meter().charge(static_cast<std::uint64_t>(ceil_lg(n)),
+                       (n + 1) / 2, 2 * n);
+      OptResult<T> best{eval(0), 0};
+      for (std::size_t i = 1; i < n; ++i) {
+        OptResult<T> c{eval(i), i};
+        if (better(c, best)) best = c;
+      }
+      return best;
+    }
+    case Model::CRCW_COMBINING: {
+      m.meter().charge(1, n);
+      OptResult<T> best{eval(0), 0};
+      for (std::size_t i = 1; i < n; ++i) {
+        OptResult<T> c{eval(i), i};
+        if (better(c, best)) best = c;
+      }
+      return best;
+    }
+    default: {  // COMMON / ARBITRARY / PRIORITY: doubly-logarithmic
+      std::vector<OptResult<T>> cand(n);
+      m.meter().charge(1, n);  // load candidates
+      for (std::size_t i = 0; i < n; ++i) cand[i] = {eval(i), i};
+      return detail::crcw_argopt(m, std::move(cand), better);
+    }
+  }
+}
+
+/// Parallel minimum (value + leftmost index) of a materialized span.
+template <class T>
+OptResult<T> min_element_par(Machine& m, std::span<const T> xs) {
+  return argopt<T>(
+      m, xs.size(), [&](std::size_t i) { return xs[i]; },
+      [](const T& a, const T& b) { return a < b; });
+}
+
+template <class T>
+OptResult<T> max_element_par(Machine& m, std::span<const T> xs) {
+  return argopt<T>(
+      m, xs.size(), [&](std::size_t i) { return xs[i]; },
+      [](const T& a, const T& b) { return b < a; });
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+/// Work-efficient exclusive prefix scan (Blelloch up-sweep/down-sweep):
+/// 2 ceil(lg n) steps, ~4n work.  Returns the total as well.
+template <class T, class Op>
+T exclusive_scan_par(Machine& m, std::span<T> xs, Op&& op, T identity) {
+  const std::size_t n = xs.size();
+  if (n == 0) return identity;
+  m.meter().charge(2 * static_cast<std::uint64_t>(ceil_lg(n)),
+                   (n + 1) / 2, 4 * n);
+  T acc = identity;
+  for (std::size_t i = 0; i < n; ++i) {
+    T x = xs[i];
+    xs[i] = acc;
+    acc = op(acc, x);
+  }
+  return acc;
+}
+
+/// Inclusive prefix scan; same cost as the exclusive scan.
+template <class T, class Op>
+T inclusive_scan_par(Machine& m, std::span<T> xs, Op&& op) {
+  const std::size_t n = xs.size();
+  if (n == 0) return T{};
+  m.meter().charge(2 * static_cast<std::uint64_t>(ceil_lg(n)),
+                   (n + 1) / 2, 4 * n);
+  for (std::size_t i = 1; i < n; ++i) xs[i] = op(xs[i - 1], xs[i]);
+  return xs[n - 1];
+}
+
+// ---------------------------------------------------------------------------
+// Scatter writes with model enforcement
+// ---------------------------------------------------------------------------
+
+template <class T>
+struct WriteIntent {
+  std::size_t proc;  // issuing processor (decides ARBITRARY/PRIORITY races)
+  std::size_t addr;  // destination cell
+  T value;
+};
+
+/// One synchronous write step: all intents fire simultaneously into
+/// `cells`.  Under CREW, two intents for one address throw ModelViolation;
+/// under CRCW_COMMON, disagreeing values throw; ARBITRARY and PRIORITY
+/// resolve races to the lowest processor id; COMBINING folds values with
+/// `combine` (which must be associative and commutative).
+template <class T, class Combine>
+void scatter_write(Machine& m, std::span<T> cells,
+                   std::span<const WriteIntent<T>> intents, Combine&& combine) {
+  if (intents.empty()) return;
+  m.meter().charge(1, intents.size());
+  // Detect races.  Sorting a copy keeps the public span const.
+  std::vector<const WriteIntent<T>*> by_addr;
+  by_addr.reserve(intents.size());
+  for (const auto& w : intents) {
+    PMONGE_REQUIRE(w.addr < cells.size(), "scatter_write out of range");
+    by_addr.push_back(&w);
+  }
+  std::sort(by_addr.begin(), by_addr.end(),
+            [](const WriteIntent<T>* a, const WriteIntent<T>* b) {
+              if (a->addr != b->addr) return a->addr < b->addr;
+              return a->proc < b->proc;
+            });
+  for (std::size_t i = 0; i < by_addr.size();) {
+    std::size_t j = i;
+    while (j < by_addr.size() && by_addr[j]->addr == by_addr[i]->addr) ++j;
+    const std::size_t addr = by_addr[i]->addr;
+    if (j - i > 1) {
+      switch (m.model()) {
+        case Model::CREW:
+          throw ModelViolation("CREW write conflict at cell " +
+                               std::to_string(addr));
+        case Model::CRCW_COMMON:
+          for (std::size_t k = i + 1; k < j; ++k) {
+            if (!(by_addr[k]->value == by_addr[i]->value)) {
+              throw ModelViolation(
+                  "CRCW-COMMON disagreeing writes at cell " +
+                  std::to_string(addr));
+            }
+          }
+          cells[addr] = by_addr[i]->value;
+          break;
+        case Model::CRCW_ARBITRARY:
+        case Model::CRCW_PRIORITY:
+          cells[addr] = by_addr[i]->value;  // lowest proc id wins
+          break;
+        case Model::CRCW_COMBINING: {
+          T acc = by_addr[i]->value;
+          for (std::size_t k = i + 1; k < j; ++k)
+            acc = combine(acc, by_addr[k]->value);
+          cells[addr] = acc;
+          break;
+        }
+      }
+    } else {
+      cells[addr] = by_addr[i]->value;
+    }
+    i = j;
+  }
+}
+
+/// scatter_write with a "last writer would win" combiner that is only legal
+/// when no combining is required.
+template <class T>
+void scatter_write(Machine& m, std::span<T> cells,
+                   std::span<const WriteIntent<T>> intents) {
+  scatter_write(m, cells, intents, [](const T& a, const T&) { return a; });
+}
+
+// ---------------------------------------------------------------------------
+// Pack / compaction
+// ---------------------------------------------------------------------------
+
+/// Stable compaction: returns the indices i with keep(i) true, in order.
+/// Cost: one flag step + exclusive scan + scatter.
+template <class Keep>
+std::vector<std::size_t> pack_indices(Machine& m, std::size_t n, Keep&& keep) {
+  std::vector<std::size_t> flags(n, 0);
+  parallel_for(m, n, [&](std::size_t i) { flags[i] = keep(i) ? 1 : 0; });
+  const std::size_t total = exclusive_scan_par<std::size_t>(
+      m, flags, std::plus<std::size_t>{}, 0);
+  std::vector<std::size_t> out(total);
+  parallel_for(m, n, [&](std::size_t i) {
+    if (keep(i)) out[flags[i]] = i;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Merging and sorting
+// ---------------------------------------------------------------------------
+
+/// Merge two sorted sequences by cross-ranking (every element binary
+/// searches the other sequence): ceil(lg(|a|+|b|)) steps, (|a|+|b|) procs.
+template <class T, class Less>
+std::vector<T> parallel_merge(Machine& m, std::span<const T> a,
+                              std::span<const T> b, Less&& less) {
+  const std::size_t n = a.size() + b.size();
+  if (n == 0) return {};
+  m.meter().charge(static_cast<std::uint64_t>(ceil_lg(n)), n,
+                   n * static_cast<std::uint64_t>(std::max(1, ceil_lg(n))));
+  std::vector<T> out;
+  out.reserve(n);
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             less);
+  return out;
+}
+
+/// Stable parallel merge sort: ceil(lg n) rounds of parallel merges, so
+/// ceil(lg n)^2 steps and n lg n work.  (Cole's O(lg n) merge sort exists;
+/// the library charges the simpler bound and the few call sites that need
+/// an O(lg n)-depth sort on bounded integer keys use radix_sort_cost.)
+template <class T, class Less>
+void merge_sort_par(Machine& m, std::vector<T>& xs, Less&& less) {
+  const std::size_t n = xs.size();
+  if (n <= 1) return;
+  const auto lgn = static_cast<std::uint64_t>(ceil_lg(n));
+  m.meter().charge(lgn * lgn, n, n * lgn);
+  std::stable_sort(xs.begin(), xs.end(), less);
+}
+
+/// Stable radix sort of non-negative integer keys bounded by 2^bits:
+/// per bit, a stable binary split costs one flag step, one scan and one
+/// scatter, so the whole sort is O(bits * lg n) steps with n processors.
+/// `key(x)` must be in [0, 2^bits).
+template <class T, class Key>
+void radix_sort_par(Machine& m, std::vector<T>& xs, Key&& key, int bits) {
+  const std::size_t n = xs.size();
+  if (n <= 1) return;
+  PMONGE_REQUIRE(bits >= 1 && bits <= 62, "radix width out of range");
+  const auto lgn = static_cast<std::uint64_t>(std::max(1, ceil_lg(n)));
+  m.meter().charge(static_cast<std::uint64_t>(bits) * (2 * lgn + 2), n,
+                   static_cast<std::uint64_t>(bits) * 4 * n);
+  std::stable_sort(xs.begin(), xs.end(), [&](const T& a, const T& b) {
+    return key(a) < key(b);
+  });
+}
+
+}  // namespace pmonge::pram

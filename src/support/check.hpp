@@ -1,0 +1,62 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// PMONGE_REQUIRE  -- argument / precondition validation on public entry
+//                    points; always on, throws std::invalid_argument.
+// PMONGE_ASSERT   -- internal invariant; throws pmonge::InternalError so a
+//                    broken simulation never silently returns wrong data.
+// pmonge::ModelViolation -- thrown by the PRAM simulator when an algorithm
+//                    breaks the memory rules of the machine model it claims
+//                    to run on (e.g. a write conflict under CREW).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pmonge {
+
+/// Raised when an internal invariant of the library is violated.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Raised when a simulated algorithm violates the rules of the machine
+/// model it is declared to run on (CREW write conflict, COMMON-CRCW
+/// disagreeing writes, message sent along a non-existent network edge, ...).
+class ModelViolation : public std::logic_error {
+ public:
+  explicit ModelViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+[[noreturn]] inline void throw_assert(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant failed: " << expr << " at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pmonge
+
+#define PMONGE_REQUIRE(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::pmonge::detail::throw_require(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define PMONGE_ASSERT(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::pmonge::detail::throw_assert(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

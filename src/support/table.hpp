@@ -1,0 +1,32 @@
+// Minimal aligned-table printer for the benchmark harness.  Every bench
+// binary prints paper-style rows (model / n / measured steps / bound /
+// ratio) through this class so output stays uniform and grep-friendly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmonge {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formatting helpers.
+  static std::string num(std::uint64_t v);
+  static std::string fixed(double v, int digits = 2);
+
+  /// Render with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmonge

@@ -1,0 +1,149 @@
+// Property tests for the (min,+) / (max,+) algebra underlying the tube
+// machinery and the string-editing application: Monge closure under
+// min-plus products, associativity, graded-infinity preservation, and
+// consistency of the tube strategies across PRAM models.
+#include <gtest/gtest.h>
+
+#include "monge/composite.hpp"
+#include "monge/generators.hpp"
+#include "monge/validate.hpp"
+#include "par/tube_maxima.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge {
+namespace {
+
+using monge::DenseArray;
+using pram::Machine;
+using pram::Model;
+
+DenseArray<std::int64_t> min_plus(const DenseArray<std::int64_t>& a,
+                                  const DenseArray<std::int64_t>& b) {
+  DenseArray<std::int64_t> c(a.rows(), b.cols(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < b.cols(); ++k) {
+      std::int64_t best = a(i, 0) + b(0, k);
+      for (std::size_t j = 1; j < a.cols(); ++j) {
+        best = std::min(best, a(i, j) + b(j, k));
+      }
+      c.at(i, k) = best;
+    }
+  }
+  return c;
+}
+
+TEST(CompositeAlgebra, MinPlusProductOfMongeIsMonge) {
+  Rng rng(71);
+  for (int t = 0; t < 15; ++t) {
+    const auto a = monge::random_monge(9, 12, rng);
+    const auto b = monge::random_monge(12, 7, rng);
+    EXPECT_TRUE(monge::is_monge(min_plus(a, b)));
+  }
+}
+
+TEST(CompositeAlgebra, MinPlusIsAssociative) {
+  Rng rng(72);
+  for (int t = 0; t < 10; ++t) {
+    const auto a = monge::random_monge(6, 8, rng);
+    const auto b = monge::random_monge(8, 5, rng);
+    const auto c = monge::random_monge(5, 7, rng);
+    const auto left = min_plus(min_plus(a, b), c);
+    const auto right = min_plus(a, min_plus(b, c));
+    for (std::size_t i = 0; i < left.rows(); ++i) {
+      for (std::size_t k = 0; k < left.cols(); ++k) {
+        EXPECT_EQ(left(i, k), right(i, k));
+      }
+    }
+  }
+}
+
+TEST(CompositeAlgebra, TubeMinimaEqualsMinPlusProduct) {
+  Rng rng(73);
+  for (int t = 0; t < 10; ++t) {
+    const auto inst = monge::random_composite(10, 14, 9, rng);
+    const auto prod = min_plus(inst.d, inst.e);
+    Machine mach(Model::CREW);
+    const auto plane = par::tube_minima(mach, inst.d, inst.e);
+    for (std::size_t i = 0; i < 10; ++i) {
+      for (std::size_t k = 0; k < 9; ++k) {
+        EXPECT_EQ(plane.at(i, k).value, prod(i, k));
+      }
+    }
+  }
+}
+
+TEST(CompositeAlgebra, GradedInfinityKeepsMongeUnderMinPlus) {
+  // The string-editing substitution: lower-triangular graded infinities
+  // (j - k) * M stay Monge and are preserved by min-plus products.
+  Rng rng(74);
+  const std::int64_t big = 1'000'000;
+  auto make_graded = [&](std::size_t n) {
+    auto a = monge::random_monge(n, n, rng, 3, 10);
+    DenseArray<std::int64_t> g(n, n, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        g.at(j, k) = k < j ? static_cast<std::int64_t>(j - k) * big
+                           : a(j, k) - a(j, j) + std::llabs(a(j, k)) % 50;
+      }
+    }
+    return g;
+  };
+  for (int t = 0; t < 10; ++t) {
+    const auto a = make_graded(9);
+    const auto b = make_graded(9);
+    if (!monge::is_monge(a) || !monge::is_monge(b)) {
+      continue;  // the finite part of this draw wasn't Monge; skip
+    }
+    const auto c = min_plus(a, b);
+    EXPECT_TRUE(monge::is_monge(c));
+    // Upper triangle stays finite, lower stays graded-dominant.
+    for (std::size_t j = 0; j < 9; ++j) {
+      for (std::size_t k = 0; k < 9; ++k) {
+        if (k >= j) {
+          EXPECT_LT(c(j, k), big / 2);
+        } else {
+          EXPECT_GE(c(j, k), big / 2);
+        }
+      }
+    }
+  }
+}
+
+TEST(CompositeAlgebra, StrategiesAgreeAcrossModels) {
+  Rng rng(75);
+  const auto inst = monge::random_composite(21, 17, 23, rng);
+  std::vector<monge::TubeOpt<std::int64_t>> reference;
+  for (auto model : {Model::CREW, Model::CRCW_COMMON, Model::CRCW_PRIORITY,
+                     Model::CRCW_COMBINING}) {
+    for (auto strat :
+         {par::TubeStrategy::PerSlice, par::TubeStrategy::SampledDoublyLog}) {
+      Machine mach(model);
+      const auto plane = par::tube_maxima(mach, inst.d, inst.e, strat);
+      if (reference.empty()) {
+        reference = plane.opt;
+      } else {
+        EXPECT_EQ(plane.opt, reference)
+            << pram::model_name(model) << " "
+            << (strat == par::TubeStrategy::PerSlice ? "slice" : "sampled");
+      }
+    }
+  }
+}
+
+TEST(CompositeAlgebra, CompositeOfTransposesIsSymmetric) {
+  // c[i][j][k] with D = E^T on a symmetric instance: tube minima plane
+  // must be symmetric in (i, k).
+  Rng rng(76);
+  const auto e = monge::random_monge(12, 12, rng);
+  monge::Transpose<DenseArray<std::int64_t>> d(e);
+  Machine mach(Model::CREW);
+  const auto plane = par::tube_minima(mach, d, e);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t k = 0; k < 12; ++k) {
+      EXPECT_EQ(plane.at(i, k).value, plane.at(k, i).value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmonge

@@ -1,0 +1,143 @@
+// Cross-module randomized fuzzing: one seed drives a storm of random
+// instances through every search path, cross-checking all algorithm
+// families against each other and against the brute oracles.  This is
+// the catch-all net under the targeted suites: any divergence between
+// two implementations of the same problem fails loudly with the seed in
+// the message.
+#include <gtest/gtest.h>
+
+#include "monge/brute.hpp"
+#include "monge/composite.hpp"
+#include "monge/generators.hpp"
+#include "monge/smawk.hpp"
+#include "monge/staircase_seq.hpp"
+#include "monge/validate.hpp"
+#include "par/hypercube_search.hpp"
+#include "par/monge_rowminima.hpp"
+#include "par/staircase_rowminima.hpp"
+#include "par/tube_maxima.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge {
+namespace {
+
+using monge::DenseArray;
+using monge::StaircaseArray;
+using pram::Machine;
+using pram::Model;
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, MongeRowSearchAllPathsAgree) {
+  Rng rng(GetParam());
+  for (int t = 0; t < 8; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 70));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 70));
+    const auto a = monge::random_monge(m, n, rng, 2, 15);  // tie-heavy
+    const auto brute_min = monge::row_minima_brute(a);
+    const auto brute_max = monge::row_maxima_brute(a);
+    EXPECT_EQ(monge::smawk_row_minima(a), brute_min) << GetParam();
+    EXPECT_EQ(monge::smawk_row_maxima_monge(a), brute_max) << GetParam();
+    for (auto model : {Model::CREW, Model::CRCW_COMMON}) {
+      Machine mach(model);
+      EXPECT_EQ(par::monge_row_minima(mach, a), brute_min) << GetParam();
+      EXPECT_EQ(par::monge_row_maxima(mach, a), brute_max) << GetParam();
+    }
+  }
+}
+
+TEST_P(Fuzz, StaircaseAllPathsAgree) {
+  Rng rng(GetParam() + 1000);
+  for (int t = 0; t < 6; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const auto inst = monge::random_staircase_monge(m, n, rng);
+    StaircaseArray<DenseArray<std::int64_t>> s(inst.base, inst.frontier);
+    const auto want = monge::row_minima_brute(s);
+    EXPECT_EQ(monge::staircase_row_minima_seq(s), want) << GetParam();
+    for (auto sched :
+         {par::StaircaseSchedule::MaxParallel,
+          par::StaircaseSchedule::WorkEfficient,
+          par::StaircaseSchedule::ColumnSplit}) {
+      Machine mach(Model::CRCW_COMMON);
+      EXPECT_EQ(par::staircase_row_minima(mach, s, sched), want)
+          << GetParam();
+    }
+  }
+}
+
+TEST_P(Fuzz, TubeAllPathsAgree) {
+  Rng rng(GetParam() + 2000);
+  for (int t = 0; t < 5; ++t) {
+    const std::size_t p = 1 + static_cast<std::size_t>(rng.uniform_int(0, 20));
+    const std::size_t q = 1 + static_cast<std::size_t>(rng.uniform_int(0, 20));
+    const std::size_t r = 1 + static_cast<std::size_t>(rng.uniform_int(0, 20));
+    const auto inst = monge::random_composite(p, q, r, rng);
+    const auto want_min = monge::tube_minima_brute(inst.d, inst.e);
+    const auto want_max = monge::tube_maxima_brute(inst.d, inst.e);
+    for (auto strat :
+         {par::TubeStrategy::PerSlice, par::TubeStrategy::SampledDoublyLog}) {
+      Machine mach(Model::CRCW_COMMON);
+      EXPECT_EQ(par::tube_minima(mach, inst.d, inst.e, strat).opt,
+                want_min.opt)
+          << GetParam();
+      EXPECT_EQ(par::tube_maxima(mach, inst.d, inst.e, strat).opt,
+                want_max.opt)
+          << GetParam();
+    }
+  }
+}
+
+TEST_P(Fuzz, NetworkAgreesWithPram) {
+  Rng rng(GetParam() + 3000);
+  for (int t = 0; t < 3; ++t) {
+    const std::size_t n = std::size_t{1}
+                          << (3 + static_cast<std::size_t>(
+                                  rng.uniform_int(0, 3)));
+    const auto a = monge::random_monge(n, n, rng, 2, 15);
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    const auto want = monge::row_minima_brute(a);
+    for (auto kind :
+         {net::TopologyKind::Hypercube, net::TopologyKind::ShuffleExchange}) {
+      net::Engine e = par::make_engine_for(n, kind);
+      EXPECT_EQ(par::hc_monge_row_minima<std::int64_t>(
+                    e, idx, idx,
+                    [&](std::size_t i, std::size_t j) { return a(i, j); }),
+                want)
+          << GetParam();
+    }
+  }
+}
+
+TEST_P(Fuzz, ViewsComposeConsistently) {
+  // Row maxima through three different view compositions must agree.
+  Rng rng(GetParam() + 4000);
+  const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+  const auto a = monge::random_inverse_monge(m, n, rng, 2, 15);
+  const auto direct = monge::smawk_row_maxima_inverse_monge(a);
+  // Via transpose: column maxima of the transpose, re-read per row.
+  monge::Transpose<DenseArray<std::int64_t>> tr(a);
+  const auto tmax = monge::smawk_row_maxima_inverse_monge(tr);
+  for (std::size_t i = 0; i < m; ++i) {
+    // The transposed result gives per-column winners; verify the value
+    // of row i's winner matches a brute re-check instead of indices
+    // (leftmost ties differ across orientations by design).
+    EXPECT_EQ(direct[i].value, monge::row_maxima_brute(a)[i].value);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(tmax[j].value,
+              monge::row_maxima_brute(tr)[j].value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pmonge

@@ -1,0 +1,126 @@
+// Geometry tests: convexity validation, chains, generators, and the O(1)
+// visibility predicate against the brute-force segment test.
+#include <gtest/gtest.h>
+
+#include "geom/geometry.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::geom {
+namespace {
+
+TEST(Geometry, CrossAndDist) {
+  EXPECT_GT(cross({0, 0}, {1, 0}, {1, 1}), 0);  // left turn
+  EXPECT_LT(cross({0, 0}, {1, 0}, {1, -1}), 0);
+  EXPECT_DOUBLE_EQ(dist({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(dist2({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Geometry, ConvexValidation) {
+  EXPECT_TRUE(is_strictly_convex_ccw({{0, 0}, {2, 0}, {2, 2}, {0, 2}}));
+  // Clockwise rejected.
+  EXPECT_FALSE(is_strictly_convex_ccw({{0, 0}, {0, 2}, {2, 2}, {2, 0}}));
+  // Collinear triple rejected (strictness).
+  EXPECT_FALSE(is_strictly_convex_ccw({{0, 0}, {1, 0}, {2, 0}, {1, 2}}));
+  // Reflex vertex rejected.
+  EXPECT_FALSE(
+      is_strictly_convex_ccw({{0, 0}, {4, 0}, {4, 4}, {2, 1}, {0, 4}}));
+  EXPECT_THROW(ConvexPolygon({{0, 0}, {0, 2}, {2, 2}}), std::invalid_argument);
+}
+
+TEST(Geometry, ContainsInterior) {
+  ConvexPolygon sq({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_TRUE(sq.contains_interior({2, 2}));
+  EXPECT_FALSE(sq.contains_interior({0, 2}));  // boundary is not interior
+  EXPECT_FALSE(sq.contains_interior({5, 2}));
+}
+
+TEST(Geometry, RandomPolygonsAreConvex) {
+  Rng rng(1);
+  for (int t = 0; t < 20; ++t) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(3, 40));
+    const auto poly = random_convex_polygon(n, rng, {0, 0}, 10);
+    EXPECT_EQ(poly.size(), n);
+    EXPECT_TRUE(is_strictly_convex_ccw(poly.vertices()));
+  }
+}
+
+TEST(Geometry, DisjointPolygonsDoNotOverlap) {
+  Rng rng(2);
+  for (int t = 0; t < 10; ++t) {
+    const auto [P, Q] = random_disjoint_polygons(12, 15, rng);
+    for (std::size_t i = 0; i < P.size(); ++i) {
+      EXPECT_FALSE(Q.contains_interior(P[i]));
+    }
+    for (std::size_t j = 0; j < Q.size(); ++j) {
+      EXPECT_FALSE(P.contains_interior(Q[j]));
+    }
+  }
+}
+
+TEST(Geometry, SplitChainsCoverPolygon) {
+  Rng rng(3);
+  const auto poly = random_convex_polygon(17, rng, {0, 0}, 8);
+  const auto chains = split_chains(poly);
+  EXPECT_EQ(chains.lower.size() + chains.upper.size(), poly.size() + 2);
+  // Lower chain is x-monotone increasing.
+  for (std::size_t i = 1; i < chains.lower.size(); ++i) {
+    EXPECT_GE(chains.lower[i].x, chains.lower[i - 1].x);
+  }
+  for (std::size_t i = 1; i < chains.upper.size(); ++i) {
+    EXPECT_LE(chains.upper[i].x, chains.upper[i - 1].x);
+  }
+}
+
+TEST(Geometry, SegmentsCross) {
+  EXPECT_TRUE(segments_cross({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(segments_cross({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+  EXPECT_FALSE(segments_cross({0, 0}, {2, 0}, {1, 0}, {3, 0}));  // collinear
+}
+
+TEST(Geometry, VisibilityFastMatchesBrute) {
+  Rng rng(4);
+  std::size_t checked = 0, visible_count = 0;
+  for (int t = 0; t < 12; ++t) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(3, 16));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(3, 16));
+    const auto [P, Q] = random_disjoint_polygons(m, n, rng);
+    for (std::size_t i = 0; i < P.size(); ++i) {
+      for (std::size_t j = 0; j < Q.size(); ++j) {
+        EXPECT_EQ(visible(P, i, Q, j), visible_brute(P, i, Q, j))
+            << "trial " << t << " pair " << i << "," << j;
+        ++checked;
+        visible_count += visible(P, i, Q, j);
+      }
+    }
+  }
+  // Sanity: both visible and invisible pairs occur.
+  EXPECT_GT(visible_count, 0u);
+  EXPECT_LT(visible_count, checked);
+}
+
+TEST(Geometry, NearestVertexSeesSomething) {
+  // Vertices of P on the far side of Q see nothing (the segment exits
+  // through P's own interior) -- that is correct behavior.  But the
+  // vertex of P closest to Q always sees at least the vertex of Q
+  // closest to it.
+  Rng rng(5);
+  for (int t = 0; t < 10; ++t) {
+    const auto [P, Q] = random_disjoint_polygons(20, 20, rng);
+    std::size_t bi = 0, bj = 0;
+    double best = 1e300;
+    for (std::size_t i = 0; i < P.size(); ++i) {
+      for (std::size_t j = 0; j < Q.size(); ++j) {
+        const double d = dist(P[i], Q[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    EXPECT_TRUE(visible(P, bi, Q, bj)) << t;
+  }
+}
+
+}  // namespace
+}  // namespace pmonge::geom

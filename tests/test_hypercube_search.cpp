@@ -1,0 +1,168 @@
+// Tests for Theorems 3.2-3.4's network algorithms: row minima / maxima of
+// Monge arrays on hypercube, CCC and shuffle-exchange hosts, checked
+// against brute force, plus the constant-slowdown and depth-shape
+// properties the tables claim.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "monge/brute.hpp"
+#include "monge/generators.hpp"
+#include "monge/validate.hpp"
+#include "par/hypercube_search.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::par {
+namespace {
+
+using monge::DenseArray;
+using net::Engine;
+using net::TopologyKind;
+
+/// Distance-vector instance: a[i][j] = (x[i] - y[j])^2 with sorted site
+/// vectors -- Monge, and in the paper's v/w data-model form.
+struct VecInstance {
+  std::vector<double> x, y;
+  double eval(double xi, double yj) const {
+    const double d = xi - yj;
+    return d * d;
+  }
+  DenseArray<double> dense() const {
+    DenseArray<double> a(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      for (std::size_t j = 0; j < y.size(); ++j) {
+        const double d = x[i] - y[j];
+        a.at(i, j) = d * d;
+      }
+    }
+    return a;
+  }
+};
+
+VecInstance make_instance(std::size_t n, Rng& rng) {
+  VecInstance v;
+  v.x.resize(n);
+  v.y.resize(n);
+  for (auto& t : v.x) t = rng.uniform(0, 100);
+  for (auto& t : v.y) t = rng.uniform(0, 100);
+  std::sort(v.x.begin(), v.x.end());
+  std::sort(v.y.begin(), v.y.end());
+  return v;
+}
+
+class HcSearch : public ::testing::TestWithParam<
+                     std::tuple<std::size_t, TopologyKind>> {};
+
+TEST_P(HcSearch, RowMinimaMatchesBrute) {
+  const auto [n, kind] = GetParam();
+  Rng rng(600 + n);
+  for (int t = 0; t < 3; ++t) {
+    const auto inst = make_instance(n, rng);
+    Engine e = make_engine_for(n, kind);
+    const auto got = hc_monge_row_minima<double>(
+        e, inst.x, inst.y,
+        [&](double a, double b) { return inst.eval(a, b); });
+    EXPECT_EQ(got, monge::row_minima_brute(inst.dense()));
+  }
+}
+
+TEST_P(HcSearch, RowMaximaMatchesBrute) {
+  const auto [n, kind] = GetParam();
+  Rng rng(700 + n);
+  for (int t = 0; t < 3; ++t) {
+    const auto inst = make_instance(n, rng);
+    Engine e = make_engine_for(n, kind);
+    const auto got = hc_monge_row_maxima<double>(
+        e, inst.x, inst.y,
+        [&](double a, double b) { return inst.eval(a, b); });
+    EXPECT_EQ(got, monge::row_maxima_brute(inst.dense()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndTopologies, HcSearch,
+    ::testing::Combine(
+        ::testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{4},
+                          std::size_t{8}, std::size_t{16}, std::size_t{32},
+                          std::size_t{64}, std::size_t{128}),
+        ::testing::Values(TopologyKind::Hypercube,
+                          TopologyKind::CubeConnectedCycles,
+                          TopologyKind::ShuffleExchange)),
+    [](const auto& info) {
+      std::string t = net::topology_name(std::get<1>(info.param));
+      for (auto& c : t) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + t;
+    });
+
+TEST(HcSearch, RejectsNonPowerOfTwo) {
+  Rng rng(1);
+  auto inst = make_instance(12, rng);
+  Engine e(TopologyKind::Hypercube, 5);
+  EXPECT_THROW(hc_monge_row_minima<double>(
+                   e, inst.x, inst.y,
+                   [&](double a, double b) { return inst.eval(a, b); }),
+               std::invalid_argument);
+}
+
+TEST(HcSearch, DepthIsPolylog) {
+  // The fill machinery spends O(lg n) rounds of O(lg n) normal steps:
+  // the measured depth must fit c * lg^2 n with a stable constant and be
+  // sublinear by n = 4096.
+  Rng rng(2);
+  std::vector<SeriesPoint> pts;
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto inst = make_instance(n, rng);
+    Engine e = make_engine_for(n, TopologyKind::Hypercube);
+    hc_monge_row_minima<double>(e, inst.x, inst.y, [&](double a, double b) {
+      return inst.eval(a, b);
+    });
+    pts.push_back({static_cast<double>(n),
+                   static_cast<double>(e.meter().total_steps())});
+  }
+  EXPECT_TRUE(matches_shape(pts, shape_lg2(), 0.35))
+      << pts.front().value << " .. " << pts.back().value;
+  EXPECT_LT(pts.back().value, 4096.0);
+}
+
+TEST(HcSearch, EmulationSlowdownIsConstant) {
+  // The "hypercube, etc." table rows: CCC / shuffle-exchange run the same
+  // normal algorithm within a constant factor, across sizes.
+  Rng rng(3);
+  for (std::size_t n : {64u, 512u}) {
+    const auto inst = make_instance(n, rng);
+    std::map<TopologyKind, std::uint64_t> steps;
+    for (auto kind :
+         {TopologyKind::Hypercube, TopologyKind::CubeConnectedCycles,
+          TopologyKind::ShuffleExchange}) {
+      Engine e = make_engine_for(n, kind);
+      hc_monge_row_minima<double>(e, inst.x, inst.y,
+                                  [&](double a, double b) {
+                                    return inst.eval(a, b);
+                                  });
+      steps[kind] = e.meter().total_steps();
+    }
+    const double base = static_cast<double>(steps[TopologyKind::Hypercube]);
+    EXPECT_LE(steps[TopologyKind::ShuffleExchange], 4 * base) << n;
+    EXPECT_LE(steps[TopologyKind::CubeConnectedCycles], 4 * base) << n;
+    EXPECT_GE(steps[TopologyKind::ShuffleExchange], base) << n;
+  }
+}
+
+TEST(HcSearch, IntegerMongeFromGenerator) {
+  // Dense generator arrays work through the v/w interface by treating the
+  // row index as v and column index as w (the PRAM-style O(1) entry).
+  Rng rng(4);
+  const std::size_t n = 32;
+  const auto a = monge::random_monge(n, n, rng, 3, 20);  // many ties
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  Engine e = make_engine_for(n, TopologyKind::Hypercube);
+  const auto got = hc_monge_row_minima<std::int64_t>(
+      e, idx, idx, [&](std::size_t i, std::size_t j) { return a(i, j); });
+  EXPECT_EQ(got, monge::row_minima_brute(a));
+}
+
+}  // namespace
+}  // namespace pmonge::par

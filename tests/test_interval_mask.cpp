@@ -1,0 +1,194 @@
+// Tests for the interval-masked row-optima helper (the two-sided
+// generalization of the staircase search used by Applications 2 and 3):
+// correctness against brute force for all four problem kinds, mask
+// validation, and empty-interval behavior.
+#include <gtest/gtest.h>
+
+#include "monge/brute.hpp"
+#include "monge/generators.hpp"
+#include "par/interval_mask.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::par {
+namespace {
+
+using monge::DenseArray;
+using monge::kNoCol;
+using monge::RowOpt;
+using pram::Machine;
+using pram::Model;
+
+/// Random monotone non-decreasing mask pair (lo, hi), lo <= hi <= n.
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> random_mask(
+    std::size_t m, std::size_t n, Rng& rng) {
+  std::vector<std::size_t> lo(m), hi(m);
+  std::size_t a = 0, b = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    a = std::min<std::size_t>(
+        n, a + static_cast<std::size_t>(rng.uniform_int(0, 2)));
+    b = std::min<std::size_t>(
+        n, std::max(b, a) + static_cast<std::size_t>(rng.uniform_int(0, 3)));
+    b = std::max(a, std::min(b, n));
+    lo[i] = a;
+    hi[i] = b;
+  }
+  return {lo, hi};
+}
+
+template <class A>
+std::vector<RowOpt<std::int64_t>> masked_brute(
+    const A& arr, const std::vector<std::size_t>& lo,
+    const std::vector<std::size_t>& hi, bool minima) {
+  std::vector<RowOpt<std::int64_t>> out(
+      arr.rows(),
+      RowOpt<std::int64_t>{minima ? monge::inf<std::int64_t>()
+                                  : -monge::inf<std::int64_t>(),
+                           kNoCol});
+  for (std::size_t i = 0; i < arr.rows(); ++i) {
+    for (std::size_t j = lo[i]; j < hi[i]; ++j) {
+      const auto v = arr(i, j);
+      const bool take = out[i].col == kNoCol ||
+                        (minima ? v < out[i].value : v > out[i].value);
+      if (take) out[i] = {v, j};
+    }
+  }
+  return out;
+}
+
+TEST(IntervalMask, MongeMinimaMatchesBrute) {
+  Rng rng(61);
+  for (int t = 0; t < 25; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 50));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 50));
+    const auto a = monge::random_monge(m, n, rng, 3, 20);
+    const auto [lo, hi] = random_mask(m, n, rng);
+    Machine mach(Model::CRCW_COMMON);
+    const auto got = interval_masked_row_opt<std::int64_t>(
+        mach, m, n, lo, hi, [&](std::size_t i, std::size_t j) {
+          return a(i, j);
+        },
+        MaskedProblem::MongeMinima);
+    EXPECT_EQ(got, masked_brute(a, lo, hi, true));
+  }
+}
+
+TEST(IntervalMask, MongeMaximaMatchesBrute) {
+  Rng rng(62);
+  for (int t = 0; t < 25; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+    const auto a = monge::random_monge(m, n, rng, 3, 20);
+    const auto [lo, hi] = random_mask(m, n, rng);
+    Machine mach(Model::CREW);
+    const auto got = interval_masked_row_opt<std::int64_t>(
+        mach, m, n, lo, hi, [&](std::size_t i, std::size_t j) {
+          return a(i, j);
+        },
+        MaskedProblem::MongeMaxima);
+    EXPECT_EQ(got, masked_brute(a, lo, hi, false));
+  }
+}
+
+TEST(IntervalMask, InverseMongeBothDirections) {
+  Rng rng(63);
+  for (int t = 0; t < 25; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+    const auto a = monge::random_inverse_monge(m, n, rng, 3, 20);
+    const auto [lo, hi] = random_mask(m, n, rng);
+    Machine mach(Model::CRCW_COMMON);
+    auto eval = [&](std::size_t i, std::size_t j) { return a(i, j); };
+    EXPECT_EQ(interval_masked_row_opt<std::int64_t>(
+                  mach, m, n, lo, hi, eval,
+                  MaskedProblem::InverseMongeMinima),
+              masked_brute(a, lo, hi, true));
+    EXPECT_EQ(interval_masked_row_opt<std::int64_t>(
+                  mach, m, n, lo, hi, eval,
+                  MaskedProblem::InverseMongeMaxima),
+              masked_brute(a, lo, hi, false));
+  }
+}
+
+TEST(IntervalMask, StaircaseFrontierAsSpecialCase) {
+  // lo == 0 everywhere reproduces the staircase search.  Frontiers are
+  // non-increasing, so the rows are reversed to make hi non-decreasing --
+  // which turns the Monge base into an inverse-Monge array.
+  Rng rng(64);
+  const std::size_t m = 30, n = 40;
+  const auto inst = monge::random_staircase_monge(m, n, rng);
+  std::vector<std::size_t> lo(m, 0);
+  std::vector<std::size_t> hi(inst.frontier.rbegin(), inst.frontier.rend());
+  Machine mach(Model::CRCW_COMMON);
+  const auto got = interval_masked_row_opt<std::int64_t>(
+      mach, m, n, lo, hi, [&](std::size_t i, std::size_t j) {
+        return inst.base(m - 1 - i, j);
+      },
+      MaskedProblem::InverseMongeMinima);
+  monge::StaircaseArray<DenseArray<std::int64_t>> s(inst.base,
+                                                    inst.frontier);
+  const auto want = monge::row_minima_brute(s);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(got[i], want[m - 1 - i]) << i;
+  }
+}
+
+TEST(IntervalMask, RejectsNonMonotoneMasks) {
+  Rng rng(65);
+  const auto a = monge::random_monge(4, 6, rng);
+  auto eval = [&](std::size_t i, std::size_t j) { return a(i, j); };
+  Machine mach(Model::CREW);
+  std::vector<std::size_t> lo = {2, 1, 3, 3};  // dips
+  std::vector<std::size_t> hi = {4, 4, 5, 6};
+  EXPECT_THROW(interval_masked_row_opt<std::int64_t>(
+                   mach, 4, 6, lo, hi, eval, MaskedProblem::MongeMinima),
+               std::invalid_argument);
+  lo = {1, 1, 2, 3};
+  hi = {4, 3, 5, 6};  // hi dips
+  EXPECT_THROW(interval_masked_row_opt<std::int64_t>(
+                   mach, 4, 6, lo, hi, eval, MaskedProblem::MongeMinima),
+               std::invalid_argument);
+  lo = {1, 2, 3, 5};
+  hi = {4, 4, 5, 4};  // lo > hi
+  EXPECT_THROW(interval_masked_row_opt<std::int64_t>(
+                   mach, 4, 6, lo, hi, eval, MaskedProblem::MongeMinima),
+               std::invalid_argument);
+}
+
+TEST(IntervalMask, EmptyIntervalsReportNoCol) {
+  Rng rng(66);
+  const auto a = monge::random_monge(5, 8, rng);
+  std::vector<std::size_t> lo = {0, 2, 2, 5, 8};
+  std::vector<std::size_t> hi = {2, 2, 6, 8, 8};  // rows 1 and 4 empty
+  Machine mach(Model::CRCW_COMMON);
+  const auto got = interval_masked_row_opt<std::int64_t>(
+      mach, 5, 8, lo, hi, [&](std::size_t i, std::size_t j) {
+        return a(i, j);
+      },
+      MaskedProblem::MongeMinima);
+  EXPECT_NE(got[0].col, kNoCol);
+  EXPECT_EQ(got[1].col, kNoCol);
+  EXPECT_NE(got[2].col, kNoCol);
+  EXPECT_EQ(got[4].col, kNoCol);
+}
+
+TEST(IntervalMask, DepthIsLogarithmic) {
+  Rng rng(67);
+  std::vector<SeriesPoint> series;
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    const auto a = monge::random_monge(n, n, rng);
+    const auto [lo, hi] = random_mask(n, n, rng);
+    Machine mach(Model::CRCW_COMMON);
+    interval_masked_row_opt<std::int64_t>(
+        mach, n, n, lo, hi, [&](std::size_t i, std::size_t j) {
+          return a(i, j);
+        },
+        MaskedProblem::MongeMinima);
+    series.push_back({static_cast<double>(n),
+                      static_cast<double>(mach.meter().time)});
+  }
+  EXPECT_TRUE(matches_shape(series, shape_lg(), 0.5))
+      << series.front().value << " .. " << series.back().value;
+}
+
+}  // namespace
+}  // namespace pmonge::par

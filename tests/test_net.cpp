@@ -1,0 +1,268 @@
+// Tests for the network substrate: topology structure (degrees,
+// connectivity, adjacency), engine charging rules (hypercube vs CCC vs
+// shuffle-exchange emulation), and the normal-algorithm primitives
+// (scans, broadcast, bitonic sort/merge, shift, isotone routing).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+
+#include "net/engine.hpp"
+#include "net/primitives.hpp"
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::net {
+namespace {
+
+TEST(Topology, HypercubeStructure) {
+  Hypercube h{4};
+  EXPECT_EQ(h.size(), 16u);
+  const auto edges = h.edges();
+  EXPECT_EQ(edges.size(), 16u * 4 / 2);
+  EXPECT_TRUE(edges_connected(h.size(), edges));
+  EXPECT_TRUE(h.adjacent(0b0000, 0b0100));
+  EXPECT_FALSE(h.adjacent(0b0000, 0b0110));
+  EXPECT_FALSE(h.adjacent(3, 3));
+  // Degree exactly d everywhere.
+  std::map<std::size_t, int> deg;
+  for (const auto& [u, v] : edges) {
+    deg[u]++;
+    deg[v]++;
+  }
+  for (std::size_t u = 0; u < h.size(); ++u) EXPECT_EQ(deg[u], 4) << u;
+}
+
+TEST(Topology, CccStructure) {
+  CubeConnectedCycles c{3};
+  EXPECT_EQ(c.size(), 24u);
+  const auto edges = c.edges();
+  EXPECT_TRUE(edges_connected(c.size(), edges));
+  std::map<std::size_t, int> deg;
+  for (const auto& [u, v] : edges) {
+    EXPECT_TRUE(c.adjacent(u, v)) << u << "," << v;
+    deg[u]++;
+    deg[v]++;
+  }
+  // Constant degree 3 (the whole point of CCC).
+  for (std::size_t u = 0; u < c.size(); ++u) EXPECT_EQ(deg[u], 3) << u;
+}
+
+TEST(Topology, ShuffleExchangeStructure) {
+  ShuffleExchange s{4};
+  EXPECT_EQ(s.size(), 16u);
+  EXPECT_EQ(s.shuffle(0b0110), 0b1100u);
+  EXPECT_EQ(s.shuffle(0b1001), 0b0011u);
+  EXPECT_EQ(s.unshuffle(s.shuffle(0b1011)), 0b1011u);
+  EXPECT_EQ(s.exchange(0b1010), 0b1011u);
+  const auto edges = s.edges();
+  EXPECT_TRUE(edges_connected(s.size(), edges));
+  // Degree at most 3.
+  std::map<std::size_t, int> deg;
+  for (const auto& [u, v] : edges) {
+    EXPECT_TRUE(s.adjacent(u, v)) << u << "," << v;
+    deg[u]++;
+    deg[v]++;
+  }
+  for (std::size_t u = 0; u < s.size(); ++u) EXPECT_LE(deg[u], 3) << u;
+}
+
+TEST(Engine, HypercubeExchangeChargesOneStep) {
+  Engine e(TopologyKind::Hypercube, 3);
+  std::vector<int> x(8, 1);
+  e.exchange(x, 0, [](std::size_t, int& a, int& b) { std::swap(a, b); });
+  e.exchange(x, 2, [](std::size_t, int&, int&) {});
+  EXPECT_EQ(e.meter().comm_steps, 2u);
+  EXPECT_EQ(e.meter().messages, 16u);
+}
+
+TEST(Engine, EmulationChargesRotations) {
+  // Ascending dimension order must cost O(1) extra per step on SE/CCC
+  // (the constant-slowdown emulation); random order costs more.
+  for (auto kind :
+       {TopologyKind::ShuffleExchange, TopologyKind::CubeConnectedCycles}) {
+    Engine e(kind, 4);
+    std::vector<int> x(16, 0);
+    for (int k = 0; k < 4; ++k) {
+      e.exchange(x, k, [](std::size_t, int&, int&) {});
+    }
+    // 4 exchanges + at most 1 rotation each.
+    EXPECT_LE(e.meter().comm_steps, 8u) << topology_name(kind);
+    EXPECT_GE(e.meter().comm_steps, 4u) << topology_name(kind);
+  }
+}
+
+TEST(Engine, HypercubeVsEmulatedConstantFactor) {
+  auto run = [](TopologyKind kind) {
+    Engine e(kind, 6);
+    std::vector<long long> x(64);
+    std::iota(x.begin(), x.end(), 0);
+    prefix_scan(e, x, std::plus<long long>{});
+    bitonic_sort(e, x, std::less<long long>{});
+    return e.meter().comm_steps;
+  };
+  const auto hc = run(TopologyKind::Hypercube);
+  const auto se = run(TopologyKind::ShuffleExchange);
+  const auto ccc = run(TopologyKind::CubeConnectedCycles);
+  EXPECT_GE(se, hc);
+  EXPECT_LE(se, 4 * hc);  // constant slowdown
+  EXPECT_LE(ccc, 4 * hc);
+}
+
+TEST(Primitives, PrefixScanMatchesSequential) {
+  Engine e(TopologyKind::Hypercube, 5);
+  std::vector<long long> x(32);
+  Rng rng(1);
+  for (auto& v : x) v = rng.uniform_int(-9, 9);
+  auto expect = x;
+  std::partial_sum(expect.begin(), expect.end(), expect.begin());
+  prefix_scan(e, x, std::plus<long long>{});
+  EXPECT_EQ(x, expect);
+  EXPECT_EQ(e.meter().comm_steps, 5u);
+}
+
+TEST(Primitives, SegmentedScanRespectsBoundaries) {
+  Engine e(TopologyKind::Hypercube, 3);
+  std::vector<long long> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<std::size_t> seg = {0, 0, 0, 1, 1, 2, 2, 2};
+  segmented_prefix_scan(e, x, seg, std::plus<long long>{});
+  const std::vector<long long> expect = {1, 3, 6, 4, 9, 6, 13, 21};
+  EXPECT_EQ(x, expect);
+}
+
+TEST(Primitives, BroadcastFromEveryRoot) {
+  for (std::size_t root = 0; root < 8; ++root) {
+    Engine e(TopologyKind::Hypercube, 3);
+    std::vector<int> x(8, -1);
+    x[root] = static_cast<int>(100 + root);
+    broadcast(e, x, root);
+    for (std::size_t u = 0; u < 8; ++u) {
+      EXPECT_EQ(x[u], static_cast<int>(100 + root)) << "root " << root;
+    }
+    EXPECT_EQ(e.meter().comm_steps, 3u);
+  }
+}
+
+TEST(Primitives, AllReduceMax) {
+  Engine e(TopologyKind::Hypercube, 4);
+  std::vector<int> x(16);
+  Rng rng(2);
+  for (auto& v : x) v = static_cast<int>(rng.uniform_int(0, 1000));
+  const int expect = *std::max_element(x.begin(), x.end());
+  all_reduce(e, x, [](int a, int b) { return std::max(a, b); });
+  for (int v : x) EXPECT_EQ(v, expect);
+}
+
+TEST(Primitives, ShiftBothDirections) {
+  Engine e(TopologyKind::Hypercube, 3);
+  std::vector<int> x = {0, 1, 2, 3, 4, 5, 6, 7};
+  shift(e, x, 2, -1);
+  const std::vector<int> expect = {-1, -1, 0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(x, expect);
+  shift(e, x, -3, -9);
+  const std::vector<int> expect2 = {1, 2, 3, 4, 5, -9, -9, -9};
+  EXPECT_EQ(x, expect2);
+}
+
+TEST(Primitives, ShiftRandomDeltas) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Engine e(TopologyKind::Hypercube, 5);
+    std::vector<int> x(32);
+    for (auto& v : x) v = static_cast<int>(rng.uniform_int(0, 99));
+    const auto delta = rng.uniform_int(-31, 31);
+    auto expect = std::vector<int>(32, -1);
+    for (std::size_t u = 0; u < 32; ++u) {
+      const auto d = static_cast<std::ptrdiff_t>(u) + delta;
+      if (d >= 0 && d < 32) expect[static_cast<std::size_t>(d)] = x[u];
+    }
+    shift(e, x, delta, -1);
+    EXPECT_EQ(x, expect) << "delta " << delta;
+  }
+}
+
+TEST(Primitives, BitonicSortRandom) {
+  Rng rng(4);
+  for (auto kind : {TopologyKind::Hypercube, TopologyKind::ShuffleExchange}) {
+    Engine e(kind, 6);
+    std::vector<int> x(64);
+    for (auto& v : x) v = static_cast<int>(rng.uniform_int(0, 500));
+    auto expect = x;
+    std::sort(expect.begin(), expect.end());
+    bitonic_sort(e, x, std::less<int>{});
+    EXPECT_EQ(x, expect) << topology_name(kind);
+  }
+}
+
+TEST(Primitives, BitonicMergeHalves) {
+  Rng rng(5);
+  Engine e(TopologyKind::Hypercube, 5);
+  std::vector<int> x(32);
+  for (auto& v : x) v = static_cast<int>(rng.uniform_int(0, 99));
+  std::sort(x.begin(), x.begin() + 16);
+  std::sort(x.begin() + 16, x.end());
+  auto expect = x;
+  std::sort(expect.begin(), expect.end());
+  bitonic_merge_halves(e, x, std::less<int>{});
+  EXPECT_EQ(x, expect);
+  // Merge is O(lg n) steps, strictly cheaper than a full sort.
+  EXPECT_LE(e.meter().comm_steps, 2u * 5u);
+}
+
+TEST(Primitives, MonotoneRouteRandomPartialInjections) {
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    Engine e(TopologyKind::Hypercube, 6);
+    const std::size_t n = 64;
+    // Random monotone partial injection: pick sources and dests sorted.
+    std::vector<std::size_t> src(n), dst(n);
+    std::iota(src.begin(), src.end(), 0);
+    std::iota(dst.begin(), dst.end(), 0);
+    std::shuffle(src.begin(), src.end(), rng);
+    std::shuffle(dst.begin(), dst.end(), rng);
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+    src.resize(k);
+    dst.resize(k);
+    std::sort(src.begin(), src.end());
+    std::sort(dst.begin(), dst.end());
+    std::vector<std::optional<Packet<int>>> slots(n);
+    for (std::size_t t = 0; t < k; ++t) {
+      slots[src[t]] = Packet<int>{static_cast<int>(1000 + t), dst[t]};
+    }
+    monotone_route(e, slots);
+    for (std::size_t t = 0; t < k; ++t) {
+      ASSERT_TRUE(slots[dst[t]].has_value());
+      EXPECT_EQ(slots[dst[t]]->payload, static_cast<int>(1000 + t));
+    }
+  }
+}
+
+TEST(Primitives, RouteChargesLinearInDims) {
+  // Two-phase isotone routing: d-step rank scan + d-step concentrate +
+  // d-step spread.
+  Engine e(TopologyKind::Hypercube, 8);
+  std::vector<std::optional<Packet<int>>> slots(256);
+  slots[3] = Packet<int>{7, 200};
+  monotone_route(e, slots);
+  EXPECT_EQ(e.meter().comm_steps, 3u * 8u);
+  EXPECT_TRUE(slots[200].has_value());
+  EXPECT_FALSE(slots[3].has_value());
+}
+
+TEST(Primitives, RouteHandlesStationaryBlockers) {
+  // The case that breaks one-phase bit-fixing: a stationary packet in the
+  // path of a mover (0 -> 0 together with 2 -> 1).
+  Engine e(TopologyKind::Hypercube, 2);
+  std::vector<std::optional<Packet<int>>> slots(4);
+  slots[0] = Packet<int>{10, 0};
+  slots[2] = Packet<int>{20, 1};
+  monotone_route(e, slots);
+  ASSERT_TRUE(slots[0] && slots[1]);
+  EXPECT_EQ(slots[0]->payload, 10);
+  EXPECT_EQ(slots[1]->payload, 20);
+}
+
+}  // namespace
+}  // namespace pmonge::net

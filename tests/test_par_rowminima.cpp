@@ -1,0 +1,153 @@
+// Tests for the parallel Monge row-minima/maxima algorithms: correctness
+// against brute force on every PRAM submodel, and complexity pinning --
+// the charged depth must match Table 1.1's shapes (O(lg n) CRCW,
+// O(lg n lglg n) CREW under Brent scheduling) with O(n) peak processors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "monge/brute.hpp"
+#include "monge/generators.hpp"
+#include "par/monge_rowminima.hpp"
+#include "support/rng.hpp"
+#include "support/series.hpp"
+
+namespace pmonge::par {
+namespace {
+
+using monge::DenseArray;
+using monge::random_inverse_monge;
+using monge::random_monge;
+using monge::row_maxima_brute;
+using monge::row_minima_brute;
+using pram::Machine;
+using pram::Model;
+
+struct Dims {
+  std::size_t m, n;
+};
+
+class ParRowMinima
+    : public ::testing::TestWithParam<std::tuple<Dims, Model>> {};
+
+TEST_P(ParRowMinima, MinimaMatchesBrute) {
+  const auto [dims, model] = GetParam();
+  Rng rng(37 + dims.m * 13 + dims.n);
+  for (int t = 0; t < 5; ++t) {
+    const auto a = random_monge(dims.m, dims.n, rng, 3, 25);
+    Machine mach(model);
+    EXPECT_EQ(monge_row_minima(mach, a), row_minima_brute(a));
+  }
+}
+
+TEST_P(ParRowMinima, MaximaMatchesBrute) {
+  const auto [dims, model] = GetParam();
+  Rng rng(57 + dims.m * 13 + dims.n);
+  for (int t = 0; t < 5; ++t) {
+    const auto a = random_monge(dims.m, dims.n, rng, 3, 25);
+    Machine mach(model);
+    EXPECT_EQ(monge_row_maxima(mach, a), row_maxima_brute(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndModels, ParRowMinima,
+    ::testing::Combine(
+        ::testing::Values(Dims{1, 1}, Dims{3, 3}, Dims{8, 8}, Dims{17, 17},
+                          Dims{64, 64}, Dims{100, 10}, Dims{10, 100},
+                          Dims{129, 65}, Dims{200, 200}),
+        ::testing::Values(Model::CREW, Model::CRCW_COMMON,
+                          Model::CRCW_PRIORITY, Model::CRCW_COMBINING)),
+    [](const auto& info) {
+      const Dims dims = std::get<0>(info.param);
+      std::string name = pram::model_name(std::get<1>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "m" + std::to_string(dims.m) + "n" + std::to_string(dims.n) +
+             "_" + name;
+    });
+
+TEST(ParRowMinimaInverse, MinimaAndMaximaMatchBrute) {
+  Rng rng(71);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 80));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 80));
+    const auto a = random_inverse_monge(m, n, rng, 3, 25);
+    Machine m1(Model::CRCW_COMMON), m2(Model::CREW);
+    EXPECT_EQ(inverse_monge_row_minima(m1, a), row_minima_brute(a));
+    EXPECT_EQ(inverse_monge_row_maxima(m2, a), row_maxima_brute(a));
+  }
+}
+
+TEST(ParRowMinimaCost, CrcwDepthScalesAsLgN) {
+  // Table 1.1 CRCW row: O(lg n) time.  The ratio steps/lg n must stay
+  // bounded as n grows 64 -> 4096.
+  Rng rng(72);
+  std::vector<SeriesPoint> pts;
+  for (std::size_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    const auto a = random_monge(n, n, rng);
+    Machine mach(Model::CRCW_COMMON);
+    monge_row_minima(mach, a);
+    pts.push_back({static_cast<double>(n),
+                   static_cast<double>(mach.meter().time)});
+  }
+  EXPECT_TRUE(matches_shape(pts, shape_lg(), 0.45))
+      << "ratios: " << pts.front().value / std::log2(pts.front().n) << " .. "
+      << pts.back().value / std::log2(pts.back().n);
+}
+
+TEST(ParRowMinimaCost, PeakProcessorsLinear) {
+  Rng rng(73);
+  for (std::size_t n : {256u, 1024u}) {
+    const auto a = random_monge(n, n, rng);
+    Machine mach(Model::CRCW_COMMON);
+    monge_row_minima(mach, a);
+    EXPECT_LE(mach.meter().peak_processors, 16 * n) << n;
+  }
+}
+
+TEST(ParRowMinimaCost, CrewBrentTimeWithinLgLglg) {
+  // Table 1.1 CREW row: O(lg n lglg n) time at n/lglg n processors.
+  Rng rng(74);
+  std::vector<SeriesPoint> pts;
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    const auto a = random_monge(n, n, rng);
+    Machine mach(Model::CREW);
+    monge_row_minima(mach, a);
+    const auto p = std::max<std::uint64_t>(
+        1, n / static_cast<std::uint64_t>(std::max(1, ceil_lglg(n))));
+    pts.push_back({static_cast<double>(n), mach.meter().brent_time(p)});
+  }
+  EXPECT_TRUE(matches_shape(pts, shape_lg_lglg(), 0.6));
+}
+
+TEST(ParRowMinimaCost, WorkIsNearLinear) {
+  // Processor-time product within an O(lg n) factor of the sequential
+  // Theta(n) bound (the paper's stated efficiency envelope).
+  Rng rng(75);
+  for (std::size_t n : {512u, 2048u}) {
+    const auto a = random_monge(n, n, rng);
+    Machine mach(Model::CRCW_COMMON);
+    monge_row_minima(mach, a);
+    EXPECT_LE(mach.meter().work,
+              30.0 * n * std::max(1, ceil_lg(n)))
+        << n;
+  }
+}
+
+TEST(ParRowMinima, WorksOnImplicitArrays) {
+  // The PRAM model assumes O(1) on-demand entries; verify a FuncArray
+  // (no materialization) gives identical results.
+  const std::size_t m = 90, n = 75;
+  auto a = monge::make_func_array<double>(m, n, [](std::size_t i,
+                                                   std::size_t j) {
+    const double d = 0.37 * static_cast<double>(i) - static_cast<double>(j);
+    return d * d;
+  });
+  Machine mach(Model::CRCW_COMMON);
+  EXPECT_EQ(monge_row_minima(mach, a), row_minima_brute(a));
+}
+
+}  // namespace
+}  // namespace pmonge::par

@@ -1,0 +1,134 @@
+// Tests for parallel tube minima / maxima of Monge-composite arrays
+// (Table 1.3): correctness against brute force for both strategies and
+// all models, tie policy (smallest j), and depth pinning (lg n per-slice,
+// lglg n sampled CRCW).
+#include <gtest/gtest.h>
+
+#include "monge/composite.hpp"
+#include "monge/generators.hpp"
+#include "par/tube_maxima.hpp"
+#include "support/rng.hpp"
+#include "support/series.hpp"
+
+namespace pmonge::par {
+namespace {
+
+using monge::random_composite;
+using monge::tube_maxima_brute;
+using monge::tube_minima_brute;
+using pram::Machine;
+using pram::Model;
+
+struct Dims {
+  std::size_t p, q, r;
+};
+
+class ParTube
+    : public ::testing::TestWithParam<std::tuple<Dims, TubeStrategy>> {};
+
+TEST_P(ParTube, MinimaMatchesBrute) {
+  const auto [dims, strat] = GetParam();
+  Rng rng(301 + dims.p * 7 + dims.q * 3 + dims.r);
+  for (int t = 0; t < 4; ++t) {
+    const auto inst = random_composite(dims.p, dims.q, dims.r, rng);
+    Machine mach(Model::CRCW_COMMON);
+    const auto got = tube_minima(mach, inst.d, inst.e, strat);
+    const auto want = tube_minima_brute(inst.d, inst.e);
+    EXPECT_EQ(got.opt, want.opt);
+  }
+}
+
+TEST_P(ParTube, MaximaMatchesBrute) {
+  const auto [dims, strat] = GetParam();
+  Rng rng(401 + dims.p * 7 + dims.q * 3 + dims.r);
+  for (int t = 0; t < 4; ++t) {
+    const auto inst = random_composite(dims.p, dims.q, dims.r, rng);
+    Machine mach(Model::CRCW_COMMON);
+    const auto got = tube_maxima(mach, inst.d, inst.e, strat);
+    const auto want = tube_maxima_brute(inst.d, inst.e);
+    EXPECT_EQ(got.opt, want.opt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndStrategies, ParTube,
+    ::testing::Combine(
+        ::testing::Values(Dims{1, 1, 1}, Dims{1, 5, 9}, Dims{9, 5, 1},
+                          Dims{4, 4, 4}, Dims{16, 16, 16}, Dims{7, 30, 13},
+                          Dims{30, 7, 30}, Dims{32, 32, 32},
+                          Dims{25, 60, 25}),
+        ::testing::Values(TubeStrategy::PerSlice,
+                          TubeStrategy::SampledDoublyLog)),
+    [](const auto& info) {
+      const Dims dims = std::get<0>(info.param);
+      return "p" + std::to_string(dims.p) + "q" + std::to_string(dims.q) +
+             "r" + std::to_string(dims.r) + "_" +
+             (std::get<1>(info.param) == TubeStrategy::PerSlice ? "slice"
+                                                                : "sampled");
+    });
+
+TEST(ParTubeModels, CrewPerSliceMatches) {
+  Rng rng(55);
+  const auto inst = random_composite(20, 20, 20, rng);
+  Machine mach(Model::CREW);
+  EXPECT_EQ(tube_minima(mach, inst.d, inst.e, TubeStrategy::PerSlice).opt,
+            tube_minima_brute(inst.d, inst.e).opt);
+}
+
+TEST(ParTubeModels, DimensionMismatchRejected) {
+  Rng rng(56);
+  const auto d = monge::random_monge(4, 5, rng);
+  const auto e = monge::random_monge(6, 4, rng);
+  Machine mach(Model::CREW);
+  EXPECT_THROW(tube_minima(mach, d, e), std::invalid_argument);
+}
+
+TEST(ParTubeCost, PerSliceDepthIsLg) {
+  // Table 1.3 CREW row: Theta(lg n) time.
+  Rng rng(57);
+  std::vector<SeriesPoint> pts;
+  for (std::size_t n : {16u, 32u, 64u, 128u}) {
+    const auto inst = random_composite(n, n, n, rng);
+    Machine mach(Model::CREW);
+    tube_minima(mach, inst.d, inst.e, TubeStrategy::PerSlice);
+    pts.push_back({static_cast<double>(n),
+                   static_cast<double>(mach.meter().time)});
+  }
+  EXPECT_TRUE(matches_shape(pts, shape_lg(), 0.5))
+      << pts.front().value << " .. " << pts.back().value;
+}
+
+TEST(ParTubeCost, SampledCrcwDepthIsDoublyLog) {
+  // Table 1.3 CRCW row: Theta(lglg n) time.  The measured depth must stay
+  // within a constant multiple of lglg n across the range and grow only
+  // additively (a lg n-shaped series would add ~10 steps here; the
+  // doubly-log one adds ~4).
+  Rng rng(58);
+  std::vector<double> depths;
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const auto inst = random_composite(n, n, n, rng);
+    Machine mach(Model::CRCW_COMMON);
+    tube_minima(mach, inst.d, inst.e, TubeStrategy::SampledDoublyLog);
+    const auto t = mach.meter().time;
+    depths.push_back(static_cast<double>(t));
+    EXPECT_LE(t, 6u * static_cast<std::uint64_t>(ceil_lglg(n)) + 8) << n;
+  }
+  EXPECT_LE(depths.back(), depths.front() + 8.0)
+      << depths.front() << " -> " << depths.back();
+}
+
+TEST(ParTubeTies, SmallestJWinsOnConstantArrays) {
+  // All-equal arrays force total ties; the paper's rule picks smallest j.
+  monge::DenseArray<std::int64_t> d(3, 4, 0), e(4, 3, 0);
+  Machine mach(Model::CRCW_COMMON);
+  for (auto strat :
+       {TubeStrategy::PerSlice, TubeStrategy::SampledDoublyLog}) {
+    const auto mins = tube_minima(mach, d, e, strat);
+    const auto maxs = tube_maxima(mach, d, e, strat);
+    for (const auto& o : mins.opt) EXPECT_EQ(o.j, 0u);
+    for (const auto& o : maxs.opt) EXPECT_EQ(o.j, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pmonge::par

@@ -1,0 +1,323 @@
+// Unit tests for the PRAM simulator: cost metering, model enforcement
+// (CREW conflicts, CRCW-COMMON agreement), primitive correctness and the
+// charged depths of argopt under each submodel.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "pram/ansv.hpp"
+#include "pram/machine.hpp"
+#include "pram/primitives.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::pram {
+namespace {
+
+TEST(CostMeter, ChargeAccumulates) {
+  CostMeter m;
+  m.charge(3, 10);
+  m.charge(2, 4);
+  EXPECT_EQ(m.time, 5u);
+  EXPECT_EQ(m.work, 38u);
+  EXPECT_EQ(m.peak_processors, 10u);
+}
+
+TEST(CostMeter, ExplicitOps) {
+  CostMeter m;
+  m.charge(4, 8, 16);  // reduction tree: lg-depth but linear work
+  EXPECT_EQ(m.time, 4u);
+  EXPECT_EQ(m.work, 16u);
+}
+
+TEST(CostMeter, BrentTime) {
+  CostMeter m;
+  m.charge(10, 100, 1000);
+  EXPECT_DOUBLE_EQ(m.brent_time(10), 110.0);
+  EXPECT_DOUBLE_EQ(m.brent_time(1000), 11.0);
+  EXPECT_THROW(m.brent_time(0), std::invalid_argument);
+}
+
+TEST(Machine, ParallelBranchesMaxTimeSumWork) {
+  Machine m(Model::CREW);
+  m.parallel_branches(3, [&](std::size_t b, Machine& sub) {
+    sub.meter().charge(b + 1, 10);  // times 1,2,3; works 10,20,30
+  });
+  EXPECT_EQ(m.meter().time, 3u);
+  EXPECT_EQ(m.meter().work, 60u);
+  EXPECT_EQ(m.meter().peak_processors, 30u);
+}
+
+TEST(ParallelFor, ExecutesAllAndChargesOneStep) {
+  Machine m(Model::CREW);
+  std::vector<int> hit(100, 0);
+  parallel_for(m, hit.size(), [&](std::size_t i) { hit[i] = 1; });
+  EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 100);
+  EXPECT_EQ(m.meter().time, 1u);
+  EXPECT_EQ(m.meter().peak_processors, 100u);
+}
+
+TEST(Reduce, SumsCorrectly) {
+  Machine m(Model::CREW);
+  const auto total = reduce<long long>(
+      m, 1000, [](std::size_t i) { return static_cast<long long>(i); },
+      std::plus<long long>{}, 0LL);
+  EXPECT_EQ(total, 999LL * 1000 / 2);
+  EXPECT_EQ(m.meter().time, static_cast<std::uint64_t>(ceil_lg(1000)));
+}
+
+TEST(Argopt, FindsLeftmostMinimum) {
+  for (Model model : {Model::CREW, Model::CRCW_COMMON, Model::CRCW_ARBITRARY,
+                      Model::CRCW_PRIORITY, Model::CRCW_COMBINING}) {
+    Machine m(model);
+    std::vector<int> xs = {5, 3, 9, 3, 7, 3, 8};
+    const auto r = min_element_par<int>(m, xs);
+    EXPECT_EQ(r.value, 3) << model_name(model);
+    EXPECT_EQ(r.index, 1u) << model_name(model);
+  }
+}
+
+TEST(Argopt, FindsLeftmostMaximum) {
+  Machine m(Model::CRCW_COMMON);
+  std::vector<int> xs = {5, 9, 2, 9, 1};
+  const auto r = max_element_par<int>(m, xs);
+  EXPECT_EQ(r.value, 9);
+  EXPECT_EQ(r.index, 1u);
+}
+
+TEST(Argopt, RandomAgreesWithStd) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 300));
+    std::vector<long long> xs(n);
+    for (auto& x : xs) x = rng.uniform_int(-50, 50);
+    const auto expect =
+        std::min_element(xs.begin(), xs.end()) - xs.begin();
+    for (Model model : {Model::CREW, Model::CRCW_COMMON,
+                        Model::CRCW_COMBINING}) {
+      Machine m(model);
+      const auto r = min_element_par<long long>(m, xs);
+      EXPECT_EQ(r.index, static_cast<std::size_t>(expect));
+      EXPECT_EQ(r.value, xs[static_cast<std::size_t>(expect)]);
+    }
+  }
+}
+
+TEST(Argopt, CrewDepthIsLg) {
+  Machine m(Model::CREW);
+  std::vector<int> xs(1 << 12, 1);
+  xs[100] = 0;
+  min_element_par<int>(m, xs);
+  EXPECT_EQ(m.meter().time, 12u);
+}
+
+TEST(Argopt, CrcwDepthIsDoublyLog) {
+  // The doubly-log schedule should finish a 2^16-element argmin in far
+  // fewer steps than the lg-depth tree (16), and each round's processor
+  // usage must stay within ~2n.
+  Machine m(Model::CRCW_COMMON);
+  std::vector<int> xs(1 << 16, 7);
+  xs[12345] = 1;
+  const auto r = min_element_par<int>(m, xs);
+  EXPECT_EQ(r.index, 12345u);
+  EXPECT_LT(m.meter().time, 14u);          // ~2 lglg n + load, not lg n
+  EXPECT_LE(m.meter().peak_processors, 2u * (1 << 16));
+}
+
+TEST(Argopt, CombiningDepthIsConstant) {
+  Machine m(Model::CRCW_COMBINING);
+  std::vector<int> xs(1 << 16, 7);
+  xs[4] = 0;
+  min_element_par<int>(m, xs);
+  EXPECT_EQ(m.meter().time, 1u);
+}
+
+TEST(Scans, ExclusiveScanMatchesSequential) {
+  Machine m(Model::CREW);
+  std::vector<long long> xs = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto total =
+      exclusive_scan_par<long long>(m, xs, std::plus<long long>{}, 0LL);
+  EXPECT_EQ(total, 31);
+  const std::vector<long long> expect = {0, 3, 4, 8, 9, 14, 23, 25};
+  EXPECT_EQ(xs, expect);
+  EXPECT_EQ(m.meter().time, 2u * ceil_lg(8));
+}
+
+TEST(Scans, InclusiveScan) {
+  Machine m(Model::CREW);
+  std::vector<long long> xs = {1, 2, 3, 4};
+  inclusive_scan_par<long long>(m, xs, std::plus<long long>{});
+  const std::vector<long long> expect = {1, 3, 6, 10};
+  EXPECT_EQ(xs, expect);
+}
+
+TEST(ScatterWrite, CrewConflictThrows) {
+  Machine m(Model::CREW);
+  std::vector<int> cells(4, 0);
+  std::vector<WriteIntent<int>> w = {{0, 2, 5}, {1, 2, 6}};
+  EXPECT_THROW(scatter_write<int>(m, cells, w), ModelViolation);
+}
+
+TEST(ScatterWrite, CrewDisjointWritesSucceed) {
+  Machine m(Model::CREW);
+  std::vector<int> cells(4, 0);
+  std::vector<WriteIntent<int>> w = {{0, 1, 5}, {1, 3, 6}};
+  scatter_write<int>(m, cells, w);
+  EXPECT_EQ(cells[1], 5);
+  EXPECT_EQ(cells[3], 6);
+}
+
+TEST(ScatterWrite, CommonAgreeingWritesSucceed) {
+  Machine m(Model::CRCW_COMMON);
+  std::vector<int> cells(2, 0);
+  std::vector<WriteIntent<int>> w = {{0, 0, 7}, {1, 0, 7}, {2, 0, 7}};
+  scatter_write<int>(m, cells, w);
+  EXPECT_EQ(cells[0], 7);
+}
+
+TEST(ScatterWrite, CommonDisagreementThrows) {
+  Machine m(Model::CRCW_COMMON);
+  std::vector<int> cells(2, 0);
+  std::vector<WriteIntent<int>> w = {{0, 0, 7}, {1, 0, 8}};
+  EXPECT_THROW(scatter_write<int>(m, cells, w), ModelViolation);
+}
+
+TEST(ScatterWrite, PriorityLowestProcWins) {
+  Machine m(Model::CRCW_PRIORITY);
+  std::vector<int> cells(1, 0);
+  std::vector<WriteIntent<int>> w = {{5, 0, 50}, {2, 0, 20}, {9, 0, 90}};
+  scatter_write<int>(m, cells, w);
+  EXPECT_EQ(cells[0], 20);
+}
+
+TEST(ScatterWrite, CombiningFoldsMin) {
+  Machine m(Model::CRCW_COMBINING);
+  std::vector<int> cells(1, 100);
+  std::vector<WriteIntent<int>> w = {{0, 0, 9}, {1, 0, 3}, {2, 0, 7}};
+  scatter_write<int>(m, cells, w,
+                     [](int a, int b) { return std::min(a, b); });
+  EXPECT_EQ(cells[0], 3);
+}
+
+TEST(ScatterWrite, OutOfRangeRejected) {
+  Machine m(Model::CREW);
+  std::vector<int> cells(2, 0);
+  std::vector<WriteIntent<int>> w = {{0, 5, 1}};
+  EXPECT_THROW(scatter_write<int>(m, cells, w), std::invalid_argument);
+}
+
+TEST(Pack, KeepsFlaggedIndicesInOrder) {
+  Machine m(Model::CREW);
+  const auto idx =
+      pack_indices(m, 10, [](std::size_t i) { return i % 3 == 0; });
+  const std::vector<std::size_t> expect = {0, 3, 6, 9};
+  EXPECT_EQ(idx, expect);
+}
+
+TEST(Merge, MergesSorted) {
+  Machine m(Model::CREW);
+  std::vector<int> a = {1, 4, 6}, b = {2, 3, 7, 9};
+  const auto out =
+      parallel_merge<int>(m, a, b, [](int x, int y) { return x < y; });
+  const std::vector<int> expect = {1, 2, 3, 4, 6, 7, 9};
+  EXPECT_EQ(out, expect);
+  EXPECT_EQ(m.meter().time, static_cast<std::uint64_t>(ceil_lg(7)));
+}
+
+TEST(Sort, MergeSortSortsStably) {
+  Machine m(Model::CREW);
+  Rng rng(3);
+  std::vector<std::pair<int, int>> xs;  // (key, original position)
+  for (int i = 0; i < 500; ++i) {
+    xs.emplace_back(static_cast<int>(rng.uniform_int(0, 20)), i);
+  }
+  merge_sort_par(m, xs, [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_LE(xs[i - 1].first, xs[i].first);
+    if (xs[i - 1].first == xs[i].first) {
+      EXPECT_LT(xs[i - 1].second, xs[i].second);  // stability
+    }
+  }
+  const auto lgn = static_cast<std::uint64_t>(ceil_lg(500));
+  EXPECT_EQ(m.meter().time, lgn * lgn);
+}
+
+TEST(Sort, RadixSortsBoundedKeys) {
+  Machine m(Model::CREW);
+  Rng rng(4);
+  std::vector<std::uint32_t> xs(300);
+  for (auto& x : xs) x = static_cast<std::uint32_t>(rng.uniform_int(0, 255));
+  radix_sort_par(m, xs, [](std::uint32_t x) { return x; }, 8);
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+  // 8 bits * O(lg n) steps.
+  EXPECT_LE(m.meter().time, 8u * (2 * ceil_lg(300) + 2));
+}
+
+// --- ANSV ------------------------------------------------------------
+
+TEST(Ansv, SmallExample) {
+  std::vector<std::int64_t> a = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto r = ansv_seq(a);
+  const auto none = AnsvResult::kNone;
+  const std::vector<std::size_t> left = {none, none, 1, none, 3, 4, 3, 6};
+  const std::vector<std::size_t> right = {1, none, 3, none, 6, 6, none, none};
+  EXPECT_EQ(r.left, left);
+  EXPECT_EQ(r.right, right);
+}
+
+TEST(Ansv, ParallelMatchesSequentialRandom) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.uniform_int(0, 500));
+    std::vector<std::int64_t> a(n);
+    for (auto& x : a) x = rng.uniform_int(0, 40);
+    Machine m(Model::CREW);
+    const auto par = ansv(m, a);
+    const auto seq = ansv_seq(a);
+    EXPECT_EQ(par.left, seq.left);
+    EXPECT_EQ(par.right, seq.right);
+  }
+}
+
+TEST(Ansv, ChargedDepthIsLogarithmic) {
+  Machine m(Model::CREW);
+  std::vector<std::int64_t> a(1 << 14);
+  Rng rng(6);
+  for (auto& x : a) x = rng.uniform_int(0, 1000);
+  ansv(m, a);
+  // O(lg n): generously below, say, 8 lg n.
+  EXPECT_LE(m.meter().time, 8u * 14u);
+  EXPECT_GE(m.meter().peak_processors, a.size() / 2);
+}
+
+TEST(Ansv, BruteForceCrossCheck) {
+  Rng rng(9);
+  const std::size_t n = 64;
+  std::vector<std::int64_t> a(n);
+  for (auto& x : a) x = rng.uniform_int(0, 8);
+  const auto r = ansv_seq(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t left = AnsvResult::kNone;
+    for (std::size_t j = i; j-- > 0;) {
+      if (a[j] < a[i]) {
+        left = j;
+        break;
+      }
+    }
+    std::size_t right = AnsvResult::kNone;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (a[j] < a[i]) {
+        right = j;
+        break;
+      }
+    }
+    EXPECT_EQ(r.left[i], left) << i;
+    EXPECT_EQ(r.right[i], right) << i;
+  }
+}
+
+}  // namespace
+}  // namespace pmonge::pram

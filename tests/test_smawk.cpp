@@ -1,0 +1,157 @@
+// SMAWK tests: all four problem variants against brute force on random
+// Monge / inverse-Monge instances (including heavy-tie integer arrays and
+// extreme aspect ratios), the staircase sequential solver, and probe-count
+// linearity (the O(m+n) bound of [AKM+87], Figure 1.1's workhorse).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "monge/array.hpp"
+#include "monge/brute.hpp"
+#include "monge/generators.hpp"
+#include "monge/smawk.hpp"
+#include "monge/staircase_seq.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::monge {
+namespace {
+
+struct Dims {
+  std::size_t m, n;
+};
+
+class SmawkRandom : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(SmawkRandom, MinimaMatchesBrute) {
+  Rng rng(100 + GetParam().m * 7 + GetParam().n);
+  for (int t = 0; t < 8; ++t) {
+    const auto a = random_monge(GetParam().m, GetParam().n, rng,
+                                /*maxd=*/3, /*maxoff=*/20);  // many ties
+    EXPECT_EQ(smawk_row_minima(a), row_minima_brute(a));
+  }
+}
+
+TEST_P(SmawkRandom, MaximaMongeMatchesBrute) {
+  Rng rng(200 + GetParam().m * 7 + GetParam().n);
+  for (int t = 0; t < 8; ++t) {
+    const auto a = random_monge(GetParam().m, GetParam().n, rng, 3, 20);
+    EXPECT_EQ(smawk_row_maxima_monge(a), row_maxima_brute(a));
+  }
+}
+
+TEST_P(SmawkRandom, MinimaInverseMongeMatchesBrute) {
+  Rng rng(300 + GetParam().m * 7 + GetParam().n);
+  for (int t = 0; t < 8; ++t) {
+    const auto a =
+        random_inverse_monge(GetParam().m, GetParam().n, rng, 3, 20);
+    EXPECT_EQ(smawk_row_minima_inverse_monge(a), row_minima_brute(a));
+  }
+}
+
+TEST_P(SmawkRandom, MaximaInverseMongeMatchesBrute) {
+  Rng rng(400 + GetParam().m * 7 + GetParam().n);
+  for (int t = 0; t < 8; ++t) {
+    const auto a =
+        random_inverse_monge(GetParam().m, GetParam().n, rng, 3, 20);
+    EXPECT_EQ(smawk_row_maxima_inverse_monge(a), row_maxima_brute(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SmawkRandom,
+    ::testing::Values(Dims{1, 1}, Dims{1, 17}, Dims{17, 1}, Dims{2, 2},
+                      Dims{5, 5}, Dims{16, 16}, Dims{33, 7}, Dims{7, 33},
+                      Dims{64, 64}, Dims{128, 3}, Dims{3, 128},
+                      Dims{100, 101}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(Smawk, RealValuedArray) {
+  Rng rng(17);
+  const auto a = random_monge_real(60, 45, rng);
+  EXPECT_EQ(smawk_row_minima(a), row_minima_brute(a));
+}
+
+TEST(Smawk, ProbeCountIsLinear) {
+  // Count entry evaluations through an implicit array; SMAWK must stay
+  // within c*(m+n) while brute force probes m*n.
+  Rng rng(18);
+  const std::size_t m = 512, n = 512;
+  const auto base = random_monge(m, n, rng);
+  std::atomic<std::size_t> probes{0};
+  auto counted = make_func_array<std::int64_t>(
+      m, n, [&](std::size_t i, std::size_t j) {
+        probes.fetch_add(1, std::memory_order_relaxed);
+        return base(i, j);
+      });
+  smawk_row_minima(counted);
+  EXPECT_LE(probes.load(), 8 * (m + n));
+}
+
+TEST(Smawk, EmptyAndDegenerate) {
+  DenseArray<int> empty(0, 0);
+  EXPECT_TRUE(smawk_row_minima(empty).empty());
+  DenseArray<int> onecell(1, 1, 42);
+  const auto r = smawk_row_minima(onecell);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (RowOpt<int>{42, 0}));
+}
+
+TEST(Smawk, ArgminMonotoneAcrossRows) {
+  // Property: leftmost argmins of a Monge array are non-decreasing.
+  Rng rng(19);
+  for (int t = 0; t < 10; ++t) {
+    const auto a = random_monge(40, 60, rng, 4, 50);
+    const auto mins = smawk_row_minima(a);
+    for (std::size_t i = 1; i < mins.size(); ++i) {
+      EXPECT_LE(mins[i - 1].col, mins[i].col);
+    }
+  }
+}
+
+// --- sequential staircase solver --------------------------------------
+
+TEST(StaircaseSeq, MinimaMatchesBruteRandom) {
+  Rng rng(20);
+  for (int t = 0; t < 30; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const auto inst = random_staircase_monge(m, n, rng);
+    StaircaseArray<DenseArray<std::int64_t>> s(inst.base, inst.frontier);
+    EXPECT_EQ(staircase_row_minima_seq(s), row_minima_brute(s));
+  }
+}
+
+TEST(StaircaseSeq, MaximaMatchesBruteRandom) {
+  Rng rng(21);
+  for (int t = 0; t < 30; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const auto inst = random_staircase_monge(m, n, rng);
+    StaircaseArray<DenseArray<std::int64_t>> s(inst.base, inst.frontier);
+    EXPECT_EQ(staircase_row_maxima_seq(s), row_maxima_brute(s));
+  }
+}
+
+TEST(StaircaseSeq, FullFrontierEqualsPlainSmawk) {
+  Rng rng(22);
+  const auto a = random_monge(30, 40, rng);
+  StaircaseArray<decltype(a)> s(a, std::vector<std::size_t>(30, 40));
+  EXPECT_EQ(staircase_row_minima_seq(s), smawk_row_minima(a));
+}
+
+TEST(StaircaseSeq, AllInfiniteArray) {
+  Rng rng(23);
+  const auto a = random_monge(5, 6, rng);
+  StaircaseArray<decltype(a)> s(a, std::vector<std::size_t>(5, 0));
+  const auto mins = staircase_row_minima_seq(s);
+  for (const auto& r : mins) {
+    EXPECT_EQ(r.col, kNoCol);
+    EXPECT_TRUE(is_infinite(r.value));
+  }
+}
+
+}  // namespace
+}  // namespace pmonge::monge

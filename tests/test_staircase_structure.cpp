@@ -1,0 +1,137 @@
+// Structural invariants of the canonical-segment decomposition behind
+// Theorem 2.3 (our analogue of the paper's Figure 2.1/2.2 partition):
+// the segment jobs must tile the finite staircase region *exactly* --
+// every finite cell covered once, every infinite cell never -- with at
+// most lg n jobs per row, power-of-two aligned columns, and contiguous
+// row blocks.  These invariants are what make the per-job Monge searches
+// collectively correct.
+#include <gtest/gtest.h>
+
+#include "monge/generators.hpp"
+#include "par/staircase_rowminima.hpp"
+#include "support/rng.hpp"
+#include "support/series.hpp"
+
+namespace pmonge::par {
+namespace {
+
+using pram::Machine;
+using pram::Model;
+
+std::vector<detail::SegmentJob> jobs_for(const std::vector<std::size_t>& f,
+                                         std::size_t n) {
+  Machine scratch(Model::CREW);
+  return detail::segment_jobs(scratch, f, n);
+}
+
+TEST(StaircaseStructure, JobsTileTheFiniteRegionExactly) {
+  Rng rng(301);
+  for (int t = 0; t < 20; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const auto f = monge::random_frontier(m, n, rng);
+    const auto jobs = jobs_for(f, n);
+    std::vector<std::vector<int>> cover(m, std::vector<int>(n, 0));
+    for (const auto& j : jobs) {
+      ASSERT_LE(j.row1, m);
+      ASSERT_LE(j.col0 + j.width, n);
+      for (std::size_t r = j.row0; r < j.row1; ++r) {
+        for (std::size_t c = j.col0; c < j.col0 + j.width; ++c) {
+          cover[r][c] += 1;
+        }
+      }
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        EXPECT_EQ(cover[r][c], c < f[r] ? 1 : 0)
+            << "cell (" << r << "," << c << ") frontier " << f[r];
+      }
+    }
+  }
+}
+
+TEST(StaircaseStructure, SegmentsArePowerOfTwoAligned) {
+  Rng rng(302);
+  const auto f = monge::random_frontier(80, 100, rng);
+  for (const auto& j : jobs_for(f, 100)) {
+    EXPECT_TRUE(pmonge::is_pow2(j.width));
+    EXPECT_EQ(j.col0 % j.width, 0u);  // aligned to its own width
+    EXPECT_EQ(j.level, static_cast<std::size_t>(floor_lg(j.width)));
+  }
+}
+
+TEST(StaircaseStructure, AtMostLgNJobsPerRow) {
+  Rng rng(303);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t m = 50, n = 1 + static_cast<std::size_t>(
+                                        rng.uniform_int(0, 200));
+    const auto f = monge::random_frontier(m, n, rng);
+    std::vector<std::size_t> per_row(m, 0);
+    for (const auto& j : jobs_for(f, n)) {
+      for (std::size_t r = j.row0; r < j.row1; ++r) per_row[r]++;
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      EXPECT_LE(per_row[r],
+                static_cast<std::size_t>(std::max(1, ceil_lg(n + 1))));
+      // And exactly popcount(f_r): one segment per set bit.
+      EXPECT_EQ(per_row[r],
+                static_cast<std::size_t>(__builtin_popcountll(
+                    static_cast<unsigned long long>(f[r]))));
+    }
+  }
+}
+
+TEST(StaircaseStructure, LevelsAreColumnDisjoint) {
+  // Within one level (fixed width), jobs must not overlap in (row, col):
+  // the WorkEfficient schedule's per-level phases rely on this.
+  Rng rng(304);
+  const std::size_t m = 70, n = 90;
+  const auto f = monge::random_frontier(m, n, rng);
+  const auto jobs = jobs_for(f, n);
+  for (std::size_t a = 0; a < jobs.size(); ++a) {
+    for (std::size_t b = a + 1; b < jobs.size(); ++b) {
+      if (jobs[a].level != jobs[b].level) continue;
+      const bool rows_overlap =
+          jobs[a].row0 < jobs[b].row1 && jobs[b].row0 < jobs[a].row1;
+      const bool cols_overlap =
+          jobs[a].col0 < jobs[b].col0 + jobs[b].width &&
+          jobs[b].col0 < jobs[a].col0 + jobs[a].width;
+      EXPECT_FALSE(rows_overlap && cols_overlap)
+          << "jobs " << a << " and " << b << " overlap at level "
+          << jobs[a].level;
+    }
+  }
+}
+
+TEST(StaircaseStructure, DegenerateFrontiers) {
+  // All-zero frontier: no jobs.  Full frontier of power-of-two width:
+  // exactly one job per (row-block, bit) with a single set bit.
+  EXPECT_TRUE(jobs_for(std::vector<std::size_t>(5, 0), 8).empty());
+  const auto full = jobs_for(std::vector<std::size_t>(5, 8), 8);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].width, 8u);
+  EXPECT_EQ(full[0].row0, 0u);
+  EXPECT_EQ(full[0].row1, 5u);
+}
+
+TEST(StaircaseStructure, ColumnSplitMatchesOnAdversarialFrontiers) {
+  // Strictly-decreasing frontier: every row its own group -- the
+  // decomposition's worst case; the three schedules must still agree.
+  Rng rng(305);
+  const std::size_t n = 96;
+  const auto base = monge::random_monge(n, n, rng, 3, 20);
+  std::vector<std::size_t> f(n);
+  for (std::size_t i = 0; i < n; ++i) f[i] = n - i;
+  monge::StaircaseArray<monge::DenseArray<std::int64_t>> s(base, f);
+  Machine m1(Model::CRCW_COMMON), m2(Model::CRCW_COMMON),
+      m3(Model::CRCW_COMMON);
+  const auto a = staircase_row_minima(m1, s, StaircaseSchedule::MaxParallel);
+  const auto b =
+      staircase_row_minima(m2, s, StaircaseSchedule::WorkEfficient);
+  const auto c = staircase_row_minima(m3, s, StaircaseSchedule::ColumnSplit);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+}  // namespace
+}  // namespace pmonge::par

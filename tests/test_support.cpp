@@ -1,0 +1,167 @@
+// Unit tests for the support layer: integer log/sqrt helpers, shape
+// fitting, RNG determinism, table rendering and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/series.hpp"
+#include "support/table.hpp"
+
+namespace pmonge {
+namespace {
+
+TEST(CeilLg, SmallValues) {
+  EXPECT_EQ(ceil_lg(1), 0);
+  EXPECT_EQ(ceil_lg(2), 1);
+  EXPECT_EQ(ceil_lg(3), 2);
+  EXPECT_EQ(ceil_lg(4), 2);
+  EXPECT_EQ(ceil_lg(5), 3);
+  EXPECT_EQ(ceil_lg(1024), 10);
+  EXPECT_EQ(ceil_lg(1025), 11);
+}
+
+TEST(CeilLg, RejectsZero) { EXPECT_THROW(ceil_lg(0), std::invalid_argument); }
+
+TEST(FloorLg, Values) {
+  EXPECT_EQ(floor_lg(1), 0);
+  EXPECT_EQ(floor_lg(2), 1);
+  EXPECT_EQ(floor_lg(3), 1);
+  EXPECT_EQ(floor_lg(1023), 9);
+  EXPECT_EQ(floor_lg(1024), 10);
+}
+
+TEST(CeilLgLg, Values) {
+  EXPECT_EQ(ceil_lglg(1), 0);
+  EXPECT_EQ(ceil_lglg(2), 0);
+  EXPECT_EQ(ceil_lglg(4), 1);
+  EXPECT_EQ(ceil_lglg(16), 2);
+  EXPECT_EQ(ceil_lglg(256), 3);
+  EXPECT_EQ(ceil_lglg(65536), 4);
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+}
+
+TEST(IsPow2, Values) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Isqrt, ExactAndBetween) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(99), 9u);
+  EXPECT_EQ(isqrt(100), 10u);
+  EXPECT_EQ(isqrt(1'000'000'000'000ULL), 1'000'000u);
+}
+
+TEST(ShapeFit, PerfectLgSeries) {
+  std::vector<SeriesPoint> pts;
+  for (double n : {64.0, 256.0, 1024.0, 4096.0}) {
+    pts.push_back({n, 3.0 * std::log2(n)});
+  }
+  const auto fit = fit_shape(pts, shape_lg());
+  EXPECT_NEAR(fit.constant, 3.0, 1e-9);
+  EXPECT_NEAR(fit.max_rel_dev, 0.0, 1e-9);
+  EXPECT_TRUE(matches_shape(pts, shape_lg(), 0.01));
+}
+
+TEST(ShapeFit, LinearSeriesIsNotLg) {
+  std::vector<SeriesPoint> pts;
+  for (double n : {64.0, 256.0, 1024.0, 4096.0}) pts.push_back({n, 2.0 * n});
+  EXPECT_FALSE(matches_shape(pts, shape_lg(), 0.5));
+  EXPECT_TRUE(matches_shape(pts, shape_linear(), 0.01));
+}
+
+TEST(ShapeFit, RatioEndpointsExposeGrowth) {
+  std::vector<SeriesPoint> pts{{64, 6}, {4096, 12}};
+  const auto fit = fit_shape(pts, shape_lg());
+  EXPECT_NEAR(fit.ratio_first, 1.0, 1e-9);
+  EXPECT_NEAR(fit.ratio_last, 1.0, 1e-9);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) diff += (a() != b());
+  EXPECT_GT(diff, 0);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"model", "n", "steps"});
+  t.add_row({"CRCW", "1024", "37"});
+  t.add_row({"CREW", "1024", "122"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("model"), std::string::npos);
+  EXPECT_NE(s.find("CRCW"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumGroupsDigits) {
+  EXPECT_EQ(Table::num(0), "0");
+  EXPECT_EQ(Table::num(999), "999");
+  EXPECT_EQ(Table::num(1000), "1,000");
+  EXPECT_EQ(Table::num(1234567), "1,234,567");
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  // Note: a bare `--flag` followed by a non-flag token would consume it
+  // as a value (the usual `--key value` ambiguity), so boolean flags go
+  // last or use `--flag=1`.
+  const char* argv[] = {"prog", "--n=128", "--verbose", "--reps", "3",
+                        "input.txt"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 128);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get_int("reps", 0), 3);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.get("missing", "fallback"), "fallback");
+}
+
+}  // namespace
+}  // namespace pmonge

@@ -1,0 +1,121 @@
+// Tests for the paper-map header (par/theorems.hpp) and the
+// staircase-inverse-Monge variants: each named theorem entry point must
+// agree with its oracle, and the Lemma 2.1 rectangular bound shape must
+// hold in both aspect regimes.
+#include <gtest/gtest.h>
+
+#include "monge/brute.hpp"
+#include "monge/generators.hpp"
+#include "monge/validate.hpp"
+#include "par/theorems.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::par {
+namespace {
+
+using monge::DenseArray;
+using monge::StaircaseArray;
+using pram::Machine;
+using pram::Model;
+
+TEST(Theorems, Lemma21RectangularBothRegimes) {
+  Rng rng(91);
+  for (auto [m, n] : {std::pair<std::size_t, std::size_t>{2048, 64},
+                      {64, 2048}}) {
+    const auto a = monge::random_monge(m, n, rng);
+    Machine mach(Model::CRCW_COMMON);
+    EXPECT_EQ(lemma_2_1_row_minima(mach, a), monge::row_minima_brute(a));
+    // O(lg m + lg n) depth, generously bounded.
+    EXPECT_LE(mach.meter().time,
+              20u * static_cast<std::uint64_t>(ceil_lg(m) + ceil_lg(n)))
+        << m << "x" << n;
+  }
+}
+
+TEST(Theorems, Theorem23AndCorollary24) {
+  Rng rng(92);
+  for (auto [m, n] : {std::pair<std::size_t, std::size_t>{128, 128},
+                      {200, 60},
+                      {60, 200}}) {
+    const auto inst = monge::random_staircase_monge(m, n, rng);
+    StaircaseArray<DenseArray<std::int64_t>> s(inst.base, inst.frontier);
+    Machine mach(Model::CRCW_COMMON);
+    const auto want = monge::row_minima_brute(s);
+    EXPECT_EQ(theorem_2_3_row_minima(mach, s), want);
+    EXPECT_EQ(corollary_2_4_row_minima(mach, s), want);
+  }
+}
+
+TEST(Theorems, Theorem33MatchesPramStaircase) {
+  Rng rng(93);
+  const std::size_t n = 48;
+  const auto inst = monge::random_staircase_monge(n, n, rng);
+  StaircaseArray<DenseArray<std::int64_t>> s(inst.base, inst.frontier);
+  const auto want = monge::row_minima_brute(s);
+  auto [res, agg] = theorem_3_3_row_minima<std::int64_t>(
+      net::TopologyKind::Hypercube, n, n, inst.frontier,
+      [&](std::size_t i, std::size_t j) { return inst.base(i, j); });
+  EXPECT_EQ(res, want);
+  EXPECT_GT(agg.total_steps(), 0u);
+  EXPECT_GT(agg.physical_nodes, 0u);
+}
+
+TEST(Theorems, Theorem34MatchesBrute) {
+  Rng rng(94);
+  const std::size_t n = 16;
+  const auto inst = monge::random_composite(n, n, n, rng);
+  const auto want = monge::tube_maxima_brute(inst.d, inst.e);
+  for (auto kind :
+       {net::TopologyKind::Hypercube, net::TopologyKind::ShuffleExchange}) {
+    auto [plane, agg] = theorem_3_4_tube_maxima(kind, inst.d, inst.e);
+    EXPECT_EQ(plane.opt, want.opt) << net::topology_name(kind);
+    EXPECT_EQ(agg.physical_nodes, 2 * n * n);  // n slices x 2n nodes
+  }
+}
+
+TEST(Theorems, Theorem34RejectsNonPow2Cube) {
+  Rng rng(95);
+  const auto inst = monge::random_composite(12, 12, 12, rng);
+  EXPECT_THROW(
+      theorem_3_4_tube_maxima(net::TopologyKind::Hypercube, inst.d, inst.e),
+      std::invalid_argument);
+}
+
+// --- staircase-inverse-Monge variants ----------------------------------
+
+TEST(StaircaseInverse, MinimaAndMaximaMatchBrute) {
+  Rng rng(96);
+  for (int t = 0; t < 15; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 60));
+    // Build a staircase-inverse-Monge instance: inverse-Monge base plus a
+    // non-increasing frontier.
+    const auto base = monge::random_inverse_monge(m, n, rng, 3, 25);
+    const auto frontier = monge::random_frontier(m, n, rng);
+    StaircaseArray<DenseArray<std::int64_t>> s(base, frontier);
+    EXPECT_TRUE(monge::is_staircase_inverse_monge(s));
+    Machine m1(Model::CRCW_COMMON), m2(Model::CREW);
+    EXPECT_EQ(staircase_inverse_row_minima(m1, s),
+              monge::row_minima_brute(s));
+    EXPECT_EQ(staircase_inverse_row_maxima(m2, s),
+              monge::row_maxima_brute(s));
+  }
+}
+
+TEST(StaircaseInverse, AllInfiniteRowsKeepSentinels) {
+  Rng rng(97);
+  const auto base = monge::random_inverse_monge(5, 6, rng);
+  StaircaseArray<DenseArray<std::int64_t>> s(
+      base, std::vector<std::size_t>(5, 0));
+  Machine mach(Model::CRCW_COMMON);
+  const auto mins = staircase_inverse_row_minima(mach, s);
+  const auto maxs = staircase_inverse_row_maxima(mach, s);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(mins[i].col, monge::kNoCol);
+    EXPECT_TRUE(monge::is_infinite(mins[i].value));
+    EXPECT_EQ(maxs[i].col, monge::kNoCol);
+  }
+}
+
+}  // namespace
+}  // namespace pmonge::par

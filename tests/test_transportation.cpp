@@ -1,0 +1,126 @@
+// Transportation tests: Hoffman's theorem in action -- the greedy rule is
+// exactly optimal on Monge cost arrays (certified against the exhaustive
+// oracle), and demonstrably suboptimal on a non-Monge cost array.
+#include <gtest/gtest.h>
+
+#include "apps/transportation.hpp"
+#include "monge/generators.hpp"
+#include "monge/validate.hpp"
+#include "support/rng.hpp"
+#include "support/series.hpp"
+
+namespace pmonge::apps {
+namespace {
+
+std::vector<std::int64_t> random_vector(std::size_t n, std::int64_t total,
+                                        Rng& rng) {
+  // Non-negative integers summing to `total`.
+  std::vector<std::int64_t> v(n, 0);
+  for (std::int64_t t = 0; t < total; ++t) {
+    v[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))] += 1;
+  }
+  return v;
+}
+
+TEST(Transportation, GreedyFeasible) {
+  Rng rng(81);
+  for (int t = 0; t < 20; ++t) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    auto cost = monge::random_monge(m, n, rng, 4, 10);
+    // Make costs non-negative (offsets preserve Monge).
+    std::int64_t mn = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) mn = std::min(mn, cost(i, j));
+    }
+    auto shifted = monge::make_func_array<std::int64_t>(
+        m, n, [&, mn](std::size_t i, std::size_t j) { return cost(i, j) - mn; });
+    const auto supply = random_vector(m, 9, rng);
+    const auto demand = random_vector(n, 9, rng);
+    const auto plan = transport_greedy(shifted, supply, demand);
+    // Feasibility: shipments conserve supply and demand.
+    std::vector<std::int64_t> s(m, 0), d(n, 0);
+    std::int64_t recomputed = 0;
+    for (const auto& sh : plan.shipments) {
+      EXPECT_GT(sh.amount, 0);
+      s[sh.from] += sh.amount;
+      d[sh.to] += sh.amount;
+      recomputed += sh.amount * shifted(sh.from, sh.to);
+    }
+    EXPECT_EQ(s, supply);
+    EXPECT_EQ(d, demand);
+    EXPECT_EQ(recomputed, plan.cost);
+    // Staircase structure: shipments sorted in both coordinates.
+    for (std::size_t k = 1; k < plan.shipments.size(); ++k) {
+      EXPECT_GE(plan.shipments[k].from, plan.shipments[k - 1].from);
+      EXPECT_GE(plan.shipments[k].to, plan.shipments[k - 1].to);
+    }
+  }
+}
+
+TEST(Transportation, GreedyOptimalOnMongeCosts) {
+  Rng rng(82);
+  for (int t = 0; t < 25; ++t) {
+    const std::size_t m = 2 + static_cast<std::size_t>(rng.uniform_int(0, 1));
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 1));
+    auto base = monge::random_monge(m, n, rng, 4, 6);
+    std::int64_t mn = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) mn = std::min(mn, base(i, j));
+    }
+    auto cost = monge::make_func_array<std::int64_t>(
+        m, n,
+        [&, mn](std::size_t i, std::size_t j) { return base(i, j) - mn; });
+    const auto supply = random_vector(m, 5, rng);
+    const auto demand = random_vector(n, 5, rng);
+    const auto greedy = transport_greedy(cost, supply, demand);
+    const auto brute = transport_brute(cost, supply, demand);
+    EXPECT_EQ(greedy.cost, brute) << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(Transportation, GreedySuboptimalOnNonMongeCosts) {
+  // The classic anti-Monge 2x2: greedy ships along the expensive
+  // diagonal.
+  monge::DenseArray<std::int64_t> cost(2, 2, 0);
+  cost.at(0, 0) = 10;
+  cost.at(0, 1) = 0;
+  cost.at(1, 0) = 0;
+  cost.at(1, 1) = 10;
+  ASSERT_FALSE(monge::is_monge(cost));
+  const std::vector<std::int64_t> supply = {1, 1}, demand = {1, 1};
+  const auto greedy = transport_greedy(cost, supply, demand);
+  const auto brute = transport_brute(cost, supply, demand);
+  EXPECT_EQ(brute, 0);
+  EXPECT_GT(greedy.cost, brute);  // Hoffman's hypothesis is necessary
+}
+
+TEST(Transportation, ParallelVariantMatchesAndIsShallow) {
+  Rng rng(83);
+  const std::size_t m = 300, n = 400;
+  auto base = monge::transportation_monge(m, n, rng);
+  auto cost = monge::make_func_array<std::int64_t>(
+      m, n, [&](std::size_t i, std::size_t j) {
+        return static_cast<std::int64_t>(base(i, j));
+      });
+  const auto supply = random_vector(m, 2000, rng);
+  const auto demand = random_vector(n, 2000, rng);
+  pram::Machine mach(pram::Model::CREW);
+  const auto par = transport_greedy_par(mach, cost, supply, demand);
+  const auto seq = transport_greedy(cost, supply, demand);
+  EXPECT_EQ(par.cost, seq.cost);
+  EXPECT_LE(mach.meter().time, 8u * ceil_lg(m + n));
+}
+
+TEST(Transportation, ValidationErrors) {
+  monge::DenseArray<std::int64_t> cost(2, 2, 1);
+  EXPECT_THROW(transport_greedy(cost, {1}, {1, 0}), std::invalid_argument);
+  EXPECT_THROW(transport_greedy(cost, {1, 2}, {1, 1}),
+               std::invalid_argument);  // imbalance
+  EXPECT_THROW(transport_greedy(cost, {-1, 2}, {1, 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pmonge::apps
