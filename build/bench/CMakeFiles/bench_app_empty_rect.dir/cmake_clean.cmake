@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_empty_rect.dir/bench_app_empty_rect.cpp.o"
+  "CMakeFiles/bench_app_empty_rect.dir/bench_app_empty_rect.cpp.o.d"
+  "bench_app_empty_rect"
+  "bench_app_empty_rect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_empty_rect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_neighbors.dir/bench_app_neighbors.cpp.o"
+  "CMakeFiles/bench_app_neighbors.dir/bench_app_neighbors.cpp.o.d"
+  "bench_app_neighbors"
+  "bench_app_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_string_edit.dir/bench_app_string_edit.cpp.o"
+  "CMakeFiles/bench_app_string_edit.dir/bench_app_string_edit.cpp.o.d"
+  "bench_app_string_edit"
+  "bench_app_string_edit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_string_edit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_app_string_edit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convex_polygon_neighbors.dir/convex_polygon_neighbors.cpp.o"
+  "CMakeFiles/convex_polygon_neighbors.dir/convex_polygon_neighbors.cpp.o.d"
+  "convex_polygon_neighbors"
+  "convex_polygon_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convex_polygon_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for convex_polygon_neighbors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transportation.dir/transportation.cpp.o"
+  "CMakeFiles/transportation.dir/transportation.cpp.o.d"
+  "transportation"
+  "transportation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transportation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsi_leakage.dir/vlsi_leakage.cpp.o"
+  "CMakeFiles/vlsi_leakage.dir/vlsi_leakage.cpp.o.d"
+  "vlsi_leakage"
+  "vlsi_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsi_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/empty_rect.cpp" "src/CMakeFiles/pmonge.dir/apps/empty_rect.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/apps/empty_rect.cpp.o.d"
+  "/root/repo/src/apps/largest_rect.cpp" "src/CMakeFiles/pmonge.dir/apps/largest_rect.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/apps/largest_rect.cpp.o.d"
+  "/root/repo/src/apps/polygon_neighbors.cpp" "src/CMakeFiles/pmonge.dir/apps/polygon_neighbors.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/apps/polygon_neighbors.cpp.o.d"
+  "/root/repo/src/apps/string_edit.cpp" "src/CMakeFiles/pmonge.dir/apps/string_edit.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/apps/string_edit.cpp.o.d"
+  "/root/repo/src/geom/geometry.cpp" "src/CMakeFiles/pmonge.dir/geom/geometry.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/geom/geometry.cpp.o.d"
+  "/root/repo/src/monge/generators.cpp" "src/CMakeFiles/pmonge.dir/monge/generators.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/monge/generators.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/pmonge.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/net/topology.cpp.o.d"
+  "/root/repo/src/pram/ansv.cpp" "src/CMakeFiles/pmonge.dir/pram/ansv.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/pram/ansv.cpp.o.d"
+  "/root/repo/src/pram/machine.cpp" "src/CMakeFiles/pmonge.dir/pram/machine.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/pram/machine.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/pmonge.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/series.cpp" "src/CMakeFiles/pmonge.dir/support/series.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/support/series.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/pmonge.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/pmonge.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmonge.dir/apps/empty_rect.cpp.o"
+  "CMakeFiles/pmonge.dir/apps/empty_rect.cpp.o.d"
+  "CMakeFiles/pmonge.dir/apps/largest_rect.cpp.o"
+  "CMakeFiles/pmonge.dir/apps/largest_rect.cpp.o.d"
+  "CMakeFiles/pmonge.dir/apps/polygon_neighbors.cpp.o"
+  "CMakeFiles/pmonge.dir/apps/polygon_neighbors.cpp.o.d"
+  "CMakeFiles/pmonge.dir/apps/string_edit.cpp.o"
+  "CMakeFiles/pmonge.dir/apps/string_edit.cpp.o.d"
+  "CMakeFiles/pmonge.dir/geom/geometry.cpp.o"
+  "CMakeFiles/pmonge.dir/geom/geometry.cpp.o.d"
+  "CMakeFiles/pmonge.dir/monge/generators.cpp.o"
+  "CMakeFiles/pmonge.dir/monge/generators.cpp.o.d"
+  "CMakeFiles/pmonge.dir/net/topology.cpp.o"
+  "CMakeFiles/pmonge.dir/net/topology.cpp.o.d"
+  "CMakeFiles/pmonge.dir/pram/ansv.cpp.o"
+  "CMakeFiles/pmonge.dir/pram/ansv.cpp.o.d"
+  "CMakeFiles/pmonge.dir/pram/machine.cpp.o"
+  "CMakeFiles/pmonge.dir/pram/machine.cpp.o.d"
+  "CMakeFiles/pmonge.dir/support/cli.cpp.o"
+  "CMakeFiles/pmonge.dir/support/cli.cpp.o.d"
+  "CMakeFiles/pmonge.dir/support/series.cpp.o"
+  "CMakeFiles/pmonge.dir/support/series.cpp.o.d"
+  "CMakeFiles/pmonge.dir/support/table.cpp.o"
+  "CMakeFiles/pmonge.dir/support/table.cpp.o.d"
+  "libpmonge.a"
+  "libpmonge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmonge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composite_algebra.dir/test_composite_algebra.cpp.o"
+  "CMakeFiles/test_composite_algebra.dir/test_composite_algebra.cpp.o.d"
+  "test_composite_algebra"
+  "test_composite_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composite_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypercube_search.dir/test_hypercube_search.cpp.o"
+  "CMakeFiles/test_hypercube_search.dir/test_hypercube_search.cpp.o.d"
+  "test_hypercube_search"
+  "test_hypercube_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypercube_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_mask.dir/test_interval_mask.cpp.o"
+  "CMakeFiles/test_interval_mask.dir/test_interval_mask.cpp.o.d"
+  "test_interval_mask"
+  "test_interval_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

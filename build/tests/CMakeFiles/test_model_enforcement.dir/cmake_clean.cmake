@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_enforcement.dir/test_model_enforcement.cpp.o"
+  "CMakeFiles/test_model_enforcement.dir/test_model_enforcement.cpp.o.d"
+  "test_model_enforcement"
+  "test_model_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

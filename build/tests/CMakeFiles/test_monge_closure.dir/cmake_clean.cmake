@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monge_closure.dir/test_monge_closure.cpp.o"
+  "CMakeFiles/test_monge_closure.dir/test_monge_closure.cpp.o.d"
+  "test_monge_closure"
+  "test_monge_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monge_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

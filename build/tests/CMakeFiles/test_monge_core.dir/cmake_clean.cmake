@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monge_core.dir/test_monge_core.cpp.o"
+  "CMakeFiles/test_monge_core.dir/test_monge_core.cpp.o.d"
+  "test_monge_core"
+  "test_monge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

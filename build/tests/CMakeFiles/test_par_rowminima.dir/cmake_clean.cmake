@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_rowminima.dir/test_par_rowminima.cpp.o"
+  "CMakeFiles/test_par_rowminima.dir/test_par_rowminima.cpp.o.d"
+  "test_par_rowminima"
+  "test_par_rowminima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_rowminima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

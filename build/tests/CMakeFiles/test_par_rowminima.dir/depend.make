@@ -1,0 +1,2 @@
+# Empty dependencies file for test_par_rowminima.
+# This may be replaced when dependencies are built.

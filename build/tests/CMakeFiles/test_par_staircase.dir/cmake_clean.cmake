@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_staircase.dir/test_par_staircase.cpp.o"
+  "CMakeFiles/test_par_staircase.dir/test_par_staircase.cpp.o.d"
+  "test_par_staircase"
+  "test_par_staircase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_staircase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

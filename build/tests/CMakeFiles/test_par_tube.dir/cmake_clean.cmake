@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_tube.dir/test_par_tube.cpp.o"
+  "CMakeFiles/test_par_tube.dir/test_par_tube.cpp.o.d"
+  "test_par_tube"
+  "test_par_tube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_tube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

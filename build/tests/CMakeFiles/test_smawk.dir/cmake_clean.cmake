@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smawk.dir/test_smawk.cpp.o"
+  "CMakeFiles/test_smawk.dir/test_smawk.cpp.o.d"
+  "test_smawk"
+  "test_smawk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smawk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_staircase_structure.dir/test_staircase_structure.cpp.o"
+  "CMakeFiles/test_staircase_structure.dir/test_staircase_structure.cpp.o.d"
+  "test_staircase_structure"
+  "test_staircase_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_staircase_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

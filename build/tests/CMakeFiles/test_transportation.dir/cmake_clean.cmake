@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transportation.dir/test_transportation.cpp.o"
+  "CMakeFiles/test_transportation.dir/test_transportation.cpp.o.d"
+  "test_transportation"
+  "test_transportation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transportation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
