@@ -1,0 +1,121 @@
+// Host-engine self-speedup: wall-clock scaling of the *same* charged
+// computation as PMONGE_THREADS grows.
+//
+// Workload: a batch of independent 256 x 256 dense Monge row-minima
+// searches fanned out through Machine::parallel_branches -- the exact
+// shape the PRAM skeletons produce everywhere else -- at total row
+// counts n in {1k, 4k, 16k}.  For each thread count the harness checks
+// the determinism contract before timing: outputs and CostMeter totals
+// must be bit-identical to the 1-thread run (a "det" column says ok; any
+// divergence aborts the bench loudly).
+//
+// Read speedups against the `host cores` line printed up front: wall
+// clock can only improve with threads the machine actually has.  On a
+// 1-core host every thread count measures the same serial execution plus
+// scheduling overhead, and a flat ~1.0 column is the honest result.
+#include <chrono>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "exec/thread_pool.hpp"
+#include "monge/generators.hpp"
+#include "par/monge_rowminima.hpp"
+#include "pram/machine.hpp"
+#include "support/rng.hpp"
+
+using namespace pmonge;
+
+namespace {
+
+struct BatchResult {
+  std::vector<std::vector<monge::RowOpt<std::int64_t>>> mins;
+  std::uint64_t time = 0, work = 0, peak = 0;
+  bool operator==(const BatchResult&) const = default;
+};
+
+BatchResult run_batch(
+    const std::vector<monge::DenseArray<std::int64_t>>& arrays) {
+  BatchResult r;
+  r.mins.resize(arrays.size());
+  pram::Machine mach(pram::Model::CRCW_COMMON);
+  mach.parallel_branches(arrays.size(),
+                         [&](std::size_t b, pram::Machine& sub) {
+                           r.mins[b] = par::monge_row_minima(sub, arrays[b]);
+                         });
+  r.time = mach.meter().time;
+  r.work = mach.meter().work;
+  r.peak = mach.meter().peak_processors;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto nmax = static_cast<std::size_t>(cli.get_int("max", 16384));
+  const int reps = cli.get_int("reps", 3);
+  Rng rng(cli.get_int("seed", 23));
+  constexpr std::size_t kSide = 256;
+
+  bench::print_header(
+      "Engine self-speedup: batched 256 x 256 Monge row minima");
+  std::cout << "host cores: " << std::thread::hardware_concurrency()
+            << " (wall-clock speedup is bounded by this; charged costs are "
+               "thread-invariant by construction)\n";
+
+  Table t({"total rows", "arrays", "threads", "best ms", "speedup vs 1t",
+           "det", "charged steps", "charged work"});
+
+  const std::size_t saved_threads = exec::num_threads();
+  for (std::size_t total = 1024; total <= nmax; total *= 4) {
+    const std::size_t narrays = (total + kSide - 1) / kSide;
+    std::vector<monge::DenseArray<std::int64_t>> arrays;
+    arrays.reserve(narrays);
+    for (std::size_t b = 0; b < narrays; ++b) {
+      arrays.push_back(monge::random_monge(kSide, kSide, rng));
+    }
+
+    BatchResult reference;
+    double ms_1t = 0;
+    for (std::size_t threads : {1, 2, 4, 8}) {
+      exec::set_num_threads(threads);
+      BatchResult got = run_batch(arrays);  // warm-up + determinism probe
+      const bool det = threads == 1 || got == reference;
+      if (threads == 1) reference = std::move(got);
+
+      double best_ms = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        BatchResult timed = run_batch(arrays);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!(timed == reference)) {
+          std::cerr << "DETERMINISM VIOLATION at threads=" << threads
+                    << " total=" << total << "\n";
+          return 1;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      if (threads == 1) ms_1t = best_ms;
+
+      if (!det) {
+        std::cerr << "DETERMINISM VIOLATION at threads=" << threads
+                  << " total=" << total << "\n";
+        return 1;
+      }
+      t.add_row({Table::num(total), Table::num(narrays), Table::num(threads),
+                 Table::fixed(best_ms, 2), Table::fixed(ms_1t / best_ms, 2),
+                 "ok", Table::num(reference.time),
+                 Table::num(reference.work)});
+    }
+  }
+  exec::set_num_threads(saved_threads);
+
+  t.print(std::cout);
+  std::cout << "\nInterpretation: 'charged steps/work' constant down each "
+               "size block demonstrates the thread-invariance contract; "
+               "'speedup vs 1t' approaches min(threads, host cores) on "
+               "multicore hosts.\n";
+  return 0;
+}

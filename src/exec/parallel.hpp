@@ -1,0 +1,228 @@
+// Deterministic data-parallel skeletons over the engine's thread pool:
+// parallel_for / parallel_reduce / parallel_scan / parallel_pack, in the
+// work/span style of Deepsea's sptl with a simplified, *oracular-style*
+// granularity control.
+//
+// Granularity and determinism.  Every skeleton decomposes [0, n) into
+// fixed chunks of `grain` indices.  The chunk boundaries depend only on
+// (n, grain) -- never on the thread count or the scheduler -- and chunk
+// results are always combined serially in chunk order.  Consequently the
+// value computed by every skeleton is bit-identical across thread counts
+// (including 1), even for ops that are only *approximately* associative
+// (floating-point sums): the association is fixed by the chunking, not by
+// the schedule.  grain_for() picks the chunk size from a per-call cost
+// hint so one chunk amortizes ~default_grain() unit operations; callers
+// with expensive bodies pass a larger hint to get proportionally smaller
+// chunks.  PMONGE_GRAIN scales the whole family.
+//
+// Contracts: bodies/evals for distinct indices must be independent (the
+// engine runs them concurrently in unspecified order); reduce/scan ops
+// must be associative for the chunked association to equal the serial
+// left fold.  Exceptions from bodies cancel the batch and rethrow on the
+// caller.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace pmonge::exec {
+
+/// Chunk size amortizing scheduling overhead for a body whose per-index
+/// cost is roughly `cost_hint` unit operations.  Independent of the
+/// thread count by design (see header comment).
+inline std::size_t grain_for(std::size_t cost_hint = 1) {
+  const std::size_t g = default_grain();
+  const std::size_t h = cost_hint == 0 ? 1 : cost_hint;
+  const std::size_t grain = g / h;
+  return grain == 0 ? 1 : grain;
+}
+
+namespace detail {
+
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  return (n + grain - 1) / grain;
+}
+
+/// Serial execution is the right call when there is nothing to split,
+/// no one to split it for, or the call sits so deep in the fork tree
+/// that the outer levels already saturate the pool.
+inline bool run_serially(std::size_t nchunks) {
+  return nchunks <= 1 || num_threads() <= 1 || nest_depth() >= kMaxForkDepth;
+}
+
+}  // namespace detail
+
+/// body(i) for i in [0, n), chunked by `grain`.
+template <class Body>
+void parallel_for(std::size_t n, std::size_t grain, Body&& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t nchunks = detail::chunk_count(n, grain);
+  if (detail::run_serially(nchunks)) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = lo + grain < n ? lo + grain : n;
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+/// Coarse task fan-out: one logical task per index, for bodies that are
+/// themselves substantial (sub-searches, Machine branches).  Equivalent
+/// to parallel_for with grain 1.
+template <class Body>
+void parallel_tasks(std::size_t n, Body&& body) {
+  parallel_for(n, 1, std::forward<Body>(body));
+}
+
+/// Fold op over eval(0..n-1): per-chunk left fold from `identity`, then a
+/// serial left fold of the chunk results in chunk order.  Equals the
+/// serial left fold whenever op is associative with identity `identity`.
+template <class T, class Eval, class Op>
+T parallel_reduce(std::size_t n, std::size_t grain, T identity, Eval&& eval,
+                  Op&& op) {
+  if (n == 0) return identity;
+  if (grain == 0) grain = 1;
+  const std::size_t nchunks = detail::chunk_count(n, grain);
+  if (detail::run_serially(nchunks)) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) acc = op(acc, eval(i));
+    return acc;
+  }
+  std::vector<T> partial(nchunks, identity);
+  pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = lo + grain < n ? lo + grain : n;
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, eval(i));
+    partial[c] = acc;
+  });
+  T acc = identity;
+  for (std::size_t c = 0; c < nchunks; ++c) acc = op(acc, partial[c]);
+  return acc;
+}
+
+/// In-place exclusive prefix scan; returns the total.  Three phases:
+/// parallel per-chunk reduce, serial scan of the chunk totals, parallel
+/// per-chunk rewrite with the chunk offset.
+template <class T, class Op>
+T parallel_scan_exclusive(std::span<T> xs, std::size_t grain, Op&& op,
+                          T identity) {
+  const std::size_t n = xs.size();
+  if (n == 0) return identity;
+  if (grain == 0) grain = 1;
+  const std::size_t nchunks = detail::chunk_count(n, grain);
+  if (detail::run_serially(nchunks)) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) {
+      T x = xs[i];
+      xs[i] = acc;
+      acc = op(acc, x);
+    }
+    return acc;
+  }
+  std::vector<T> offset(nchunks, identity);
+  pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = lo + grain < n ? lo + grain : n;
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, xs[i]);
+    offset[c] = acc;
+  });
+  T total = identity;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    T x = offset[c];
+    offset[c] = total;
+    total = op(total, x);
+  }
+  pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = lo + grain < n ? lo + grain : n;
+    T acc = offset[c];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T x = xs[i];
+      xs[i] = acc;
+      acc = op(acc, x);
+    }
+  });
+  return total;
+}
+
+/// In-place inclusive prefix scan; returns the last element.
+template <class T, class Op>
+T parallel_scan_inclusive(std::span<T> xs, std::size_t grain, Op&& op) {
+  const std::size_t n = xs.size();
+  if (n == 0) return T{};
+  if (grain == 0) grain = 1;
+  const std::size_t nchunks = detail::chunk_count(n, grain);
+  if (detail::run_serially(nchunks)) {
+    for (std::size_t i = 1; i < n; ++i) xs[i] = op(xs[i - 1], xs[i]);
+    return xs[n - 1];
+  }
+  std::vector<T> sums(nchunks);
+  pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = lo + grain < n ? lo + grain : n;
+    T acc = xs[lo];
+    for (std::size_t i = lo + 1; i < hi; ++i) acc = op(acc, xs[i]);
+    sums[c] = acc;
+  });
+  for (std::size_t c = 1; c < nchunks; ++c) sums[c] = op(sums[c - 1], sums[c]);
+  pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = lo + grain < n ? lo + grain : n;
+    if (c > 0) xs[lo] = op(sums[c - 1], xs[lo]);
+    for (std::size_t i = lo + 1; i < hi; ++i) xs[i] = op(xs[i - 1], xs[i]);
+  });
+  return xs[n - 1];
+}
+
+/// Stable parallel compaction: indices i in [0, n) with keep(i) true, in
+/// increasing order.  keep is evaluated twice per index (count + fill);
+/// it must be pure.
+template <class Keep>
+std::vector<std::size_t> parallel_pack(std::size_t n, std::size_t grain,
+                                       Keep&& keep) {
+  if (n == 0) return {};
+  if (grain == 0) grain = 1;
+  const std::size_t nchunks = detail::chunk_count(n, grain);
+  if (detail::run_serially(nchunks)) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (keep(i)) out.push_back(i);
+    }
+    return out;
+  }
+  std::vector<std::size_t> count(nchunks, 0);
+  pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = lo + grain < n ? lo + grain : n;
+    std::size_t k = 0;
+    for (std::size_t i = lo; i < hi; ++i) k += keep(i) ? 1 : 0;
+    count[c] = k;
+  });
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t k = count[c];
+    count[c] = total;
+    total += k;
+  }
+  std::vector<std::size_t> out(total);
+  pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * grain;
+    const std::size_t hi = lo + grain < n ? lo + grain : n;
+    std::size_t at = count[c];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (keep(i)) out[at++] = i;
+    }
+  });
+  return out;
+}
+
+}  // namespace pmonge::exec

@@ -1,0 +1,160 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/env.hpp"
+
+namespace pmonge::exec {
+
+using detail::Batch;
+
+namespace {
+thread_local std::size_t t_nest_depth = 0;
+}  // namespace
+
+std::size_t nest_depth() { return t_nest_depth; }
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t want = threads == 0 ? 1 : threads;
+  workers_.reserve(want - 1);
+  try {
+    for (std::size_t i = 0; i + 1 < want; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (const std::system_error&) {
+    // Thread creation unavailable (restricted sandbox, resource limits):
+    // keep whatever workers started; zero workers means serial fallback.
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_batch(std::size_t nchunks,
+                           void (*invoke)(void*, std::size_t), void* ctx) {
+  auto b = std::make_shared<Batch>();
+  b->invoke = invoke;
+  b->ctx = ctx;
+  b->nchunks = nchunks;
+  b->depth = t_nest_depth + 1;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queue_.push_back(b);
+  }
+  queue_cv_.notify_all();
+
+  // Submit-and-participate: drain our own batch, then wait for chunks
+  // claimed by workers to retire.
+  work_on(*b);
+  {
+    std::unique_lock<std::mutex> lk(b->mu);
+    b->cv.wait(lk, [&] { return b->done.load(std::memory_order_acquire) ==
+                                b->nchunks; });
+  }
+  {
+    // The batch may still sit in the queue if every chunk was claimed
+    // before any worker pruned it; drop it so workers stop seeing it.
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), b), queue_.end());
+  }
+  if (b->err) std::rethrow_exception(b->err);
+}
+
+void ThreadPool::work_on(Batch& b) {
+  struct DepthGuard {
+    std::size_t saved;
+    ~DepthGuard() { t_nest_depth = saved; }
+  } guard{t_nest_depth};
+  t_nest_depth = b.depth;
+  for (;;) {
+    const std::size_t c = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= b.nchunks) return;
+    if (!b.cancelled.load(std::memory_order_relaxed)) {
+      try {
+        b.invoke(b.ctx, c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(b.mu);
+        if (!b.err) b.err = std::current_exception();
+        b.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    const std::size_t d = b.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (d == b.nchunks) {
+      // Lock pairs with the waiter's predicate check: no missed wakeup.
+      std::lock_guard<std::mutex> lk(b.mu);
+      b.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> b;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      // Prune fully-claimed batches (stragglers hold their own refs),
+      // then take the oldest live one.
+      while (!queue_.empty() &&
+             queue_.front()->next.load(std::memory_order_relaxed) >=
+                 queue_.front()->nchunks) {
+        queue_.pop_front();
+      }
+      if (queue_.empty()) continue;
+      b = queue_.front();
+    }
+    work_on(*b);
+  }
+}
+
+namespace {
+
+std::size_t resolve_default_threads() {
+  if (const auto v = support::env_uint("PMONGE_THREADS")) {
+    return std::max<std::uint64_t>(1, *v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+std::mutex g_pool_mu;
+std::atomic<ThreadPool*> g_pool{nullptr};
+
+}  // namespace
+
+ThreadPool& pool() {
+  ThreadPool* p = g_pool.load(std::memory_order_acquire);
+  if (p == nullptr) {
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    p = g_pool.load(std::memory_order_relaxed);
+    if (p == nullptr) {
+      p = new ThreadPool(resolve_default_threads());
+      g_pool.store(p, std::memory_order_release);
+    }
+  }
+  return *p;
+}
+
+std::size_t num_threads() { return pool().threads(); }
+
+void set_num_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  ThreadPool* fresh = new ThreadPool(threads == 0 ? 1 : threads);
+  ThreadPool* old = g_pool.exchange(fresh, std::memory_order_acq_rel);
+  delete old;  // joins the old workers; caller guarantees quiescence
+}
+
+std::size_t default_grain() {
+  static const std::size_t g = static_cast<std::size_t>(
+      support::env_uint_or("PMONGE_GRAIN", 2048, /*lo=*/1));
+  return g;
+}
+
+}  // namespace pmonge::exec

@@ -1,0 +1,128 @@
+// Host-parallel execution engine: a reusable worker pool over which the
+// PRAM simulator's primitives actually run concurrently.
+//
+// Design constraints (see docs/cost_model.md, "Charged cost vs wall
+// clock"):
+//   * The engine must never influence *results* or *charged costs*.  All
+//     observable state -- algorithm outputs, CostMeter totals, model-
+//     violation detection -- is identical whether a computation runs on
+//     1 thread or 64.  The pool therefore only ever executes batches of
+//     independent chunks whose decomposition is fixed by the caller.
+//   * Nested parallelism is the common case: Machine::parallel_branches
+//     recurses, and every branch issues engine work of its own.  The pool
+//     is submit-and-participate: the submitting thread executes chunks of
+//     its own batch alongside the workers, so a batch can always be
+//     finished by its submitter alone and nesting cannot deadlock.
+//   * Exceptions thrown by chunk bodies (ModelViolation, PMONGE_REQUIRE
+//     failures, ...) are captured, the batch is cancelled, and the first
+//     exception is rethrown on the submitting thread.
+//
+// Sizing: the global pool reads PMONGE_THREADS (default: hardware
+// concurrency) once at first use; set_num_threads() rebuilds it for
+// tests and benchmarks.  If worker threads cannot be created at all the
+// pool degrades to serial in-place execution.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmonge::exec {
+
+namespace detail {
+
+/// One submitted batch: chunks [0, nchunks) claimed by atomic ticket.
+/// Lives in a shared_ptr so stragglers can finish a chunk after the
+/// batch left the pool's queue.
+struct Batch {
+  void (*invoke)(void* ctx, std::size_t chunk) = nullptr;
+  void* ctx = nullptr;
+  std::size_t nchunks = 0;
+  std::size_t depth = 0;  // fork-nesting depth of the chunk bodies
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex mu;  // guards err; also serializes the completion notify
+  std::condition_variable cv;
+  std::exception_ptr err;
+};
+
+}  // namespace detail
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` execution lanes total: the submitting thread
+  /// plus threads-1 workers.  threads == 1 (or worker-creation failure)
+  /// means strictly serial execution.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (submitter included); >= 1.
+  std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Execute chunk(c) for every c in [0, nchunks), distributing chunks
+  /// across the pool; the calling thread participates until the batch is
+  /// drained.  Chunks must be independent.  The first exception thrown by
+  /// any chunk is rethrown here after all claimed chunks retire; the
+  /// remaining unclaimed chunks of a failed batch are skipped.
+  template <class F>
+  void run_chunks(std::size_t nchunks, F&& chunk) {
+    if (nchunks == 0) return;
+    if (workers_.empty() || nchunks == 1) {
+      for (std::size_t c = 0; c < nchunks; ++c) chunk(c);
+      return;
+    }
+    auto trampoline = [](void* ctx, std::size_t c) {
+      (*static_cast<std::remove_reference_t<F>*>(ctx))(c);
+    };
+    run_batch(nchunks, trampoline, std::addressof(chunk));
+  }
+
+ private:
+  void run_batch(std::size_t nchunks, void (*invoke)(void*, std::size_t),
+                 void* ctx);
+  void work_on(detail::Batch& b);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::shared_ptr<detail::Batch>> queue_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  bool stop_ = false;
+};
+
+/// The process-global engine, sized from PMONGE_THREADS (default:
+/// std::thread::hardware_concurrency()) on first use.
+ThreadPool& pool();
+
+/// Execution lanes of the global engine (>= 1).
+std::size_t num_threads();
+
+/// Rebuild the global engine with `threads` lanes (>= 1).  Intended for
+/// tests and benchmarks only; must not be called while engine work is in
+/// flight on any thread.
+void set_num_threads(std::size_t threads);
+
+/// Base granularity: the number of unit-cost loop iterations one chunk
+/// should amortize scheduling overhead over.  PMONGE_GRAIN overrides the
+/// built-in default (read once).
+std::size_t default_grain();
+
+/// Fork-nesting depth of the calling thread: 0 outside the engine, d+1
+/// inside a chunk of a batch submitted at depth d.  The data-parallel
+/// skeletons serialize below kMaxForkDepth -- by then the top levels have
+/// already produced enough chunks to saturate any pool, and deeper forks
+/// would only pay scheduling overhead.  Execution strategy only: results
+/// and charged costs never depend on it.
+std::size_t nest_depth();
+inline constexpr std::size_t kMaxForkDepth = 4;
+
+}  // namespace pmonge::exec

@@ -117,7 +117,11 @@ std::vector<RowOpt<T>> interval_masked_row_opt(
     }
   }
 
-  std::vector<std::vector<RowOpt<T>>> winners(m);
+  // Jobs of different segment widths can cover the same row and run
+  // concurrently on the host engine, so each job fills a private result
+  // slot; rows' candidate lists are assembled serially afterwards (in job
+  // order, deterministic at every thread count).
+  std::vector<std::vector<RowOpt<T>>> job_res(jobs.size());
   mach.parallel_branches(jobs.size(), [&](std::size_t t, pram::Machine& sub) {
     const Job& job = jobs[t];
     auto block = monge::make_func_array<T>(
@@ -141,12 +145,18 @@ std::vector<RowOpt<T>> interval_masked_row_opt(
         break;
     }
     sub.meter().charge(1, res.size());
-    for (std::size_t i = 0; i < res.size(); ++i) {
-      auto r = res[i];
+    for (auto& r : res) {
       if (r.col != kNoCol) r.col += job.col0;
-      winners[job.r0 + i].push_back(r);
     }
+    job_res[t] = std::move(res);
   });
+
+  std::vector<std::vector<RowOpt<T>>> winners(m);
+  for (std::size_t t = 0; t < jobs.size(); ++t) {
+    for (std::size_t i = 0; i < job_res[t].size(); ++i) {
+      winners[jobs[t].r0 + i].push_back(job_res[t][i]);
+    }
+  }
 
   const auto lgcand = static_cast<std::uint64_t>(std::max(1, ceil_lg(n + 1)));
   mach.meter().charge(lgcand, m, static_cast<std::uint64_t>(m) * lgcand);

@@ -25,6 +25,11 @@
 // plus a contiguous column range over a single entry evaluator, so the
 // compiler sees one instantiation per input array type (nesting SubArray/
 // RowSelect view types recursively would blow up template depth).
+//
+// Host execution: every parallel_branches fan-out below runs concurrently
+// on the src/exec engine.  Branch bodies write only disjoint slots of
+// `out` / `block` (their branch's rows), which is the independence the
+// simulated machine already required; `eval` must be a pure read.
 #pragma once
 
 #include <span>

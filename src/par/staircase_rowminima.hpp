@@ -175,45 +175,54 @@ std::vector<RowOpt<typename A::value_type>> staircase_opt(
   }
 
   auto jobs = segment_jobs(mach, s.frontiers(), n);
-  // winners[i] holds row i's candidates ordered by segment start so the
-  // final argopt's smallest-index tie rule yields the leftmost column.
-  std::vector<std::vector<RowOpt<T>>> winners(m);
+  // Jobs at different levels can share rows, and under MaxParallel they
+  // run concurrently on the host engine -- so each job writes its own
+  // result slot, and the candidate lists are assembled serially below in
+  // job order (deterministic at every thread count).
+  std::vector<std::vector<RowOpt<T>>> job_res(jobs.size());
   const auto lgn = static_cast<std::size_t>(std::max(1, ceil_lg(n + 1)));
-  for (auto& wv : winners) wv.reserve(lgn);
 
-  auto run_job = [&](const SegmentJob& job, pram::Machine& sub) {
+  auto run_job = [&](std::size_t t, pram::Machine& sub) {
+    const SegmentJob& job = jobs[t];
     monge::SubArray<A> block(s.base(), job.row0, job.row1 - job.row0,
                              job.col0, job.width);
     auto res = Minima ? monge_row_minima(sub, block)
                       : monge_row_maxima(sub, block);
     sub.meter().charge(1, job.row1 - job.row0);
-    for (std::size_t i = job.row0; i < job.row1; ++i) {
-      auto r = res[i - job.row0];
+    for (auto& r : res) {
       if (r.col != monge::kNoCol) r.col += job.col0;
-      winners[i].push_back(r);
     }
+    job_res[t] = std::move(res);
   };
 
   if (sched == StaircaseSchedule::MaxParallel) {
-    mach.parallel_branches(jobs.size(), [&](std::size_t t,
-                                            pram::Machine& sub) {
-      run_job(jobs[t], sub);
-    });
+    mach.parallel_branches(jobs.size(), run_job);
   } else {
     // Level-phased: segments of one width at a time.  Within a level the
     // segments are column-disjoint and row blocks meet each row once.
     std::size_t done = 0;
     for (std::size_t k = 0; done < jobs.size(); ++k) {
-      std::vector<const SegmentJob*> level;
-      for (const auto& j : jobs) {
-        if (j.level == k) level.push_back(&j);
+      std::vector<std::size_t> level;
+      for (std::size_t t = 0; t < jobs.size(); ++t) {
+        if (jobs[t].level == k) level.push_back(t);
       }
       done += level.size();
       if (level.empty()) continue;
       mach.parallel_branches(level.size(), [&](std::size_t t,
                                                pram::Machine& sub) {
-        run_job(*level[t], sub);
+        run_job(level[t], sub);
       });
+    }
+  }
+
+  // winners[i] holds row i's candidates ordered by segment start so the
+  // final argopt's smallest-index tie rule yields the leftmost column.
+  // Assembly is host bookkeeping of already-charged job results.
+  std::vector<std::vector<RowOpt<T>>> winners(m);
+  for (auto& wv : winners) wv.reserve(lgn);
+  for (std::size_t t = 0; t < jobs.size(); ++t) {
+    for (std::size_t i = jobs[t].row0; i < jobs[t].row1; ++i) {
+      winners[i].push_back(job_res[t][i - jobs[t].row0]);
     }
   }
 

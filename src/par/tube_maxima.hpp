@@ -22,6 +22,12 @@
 //    Processor count is q/s per sampled output plus bracket widths for
 //    the fill; on non-adversarial inputs this stays near n^2 (the
 //    benches report the measured peak).
+//
+// Host execution: the fan-outs run concurrently on the src/exec engine.
+// Every branch writes its own out.at(i, k) cells; the fill phase only
+// *reads* sampled cells (membership-checked, never re-solved), which
+// were fully written by the preceding phase's barrier (parallel_branches
+// returns only when all branches retire), so the phases never race.
 #pragma once
 
 #include <vector>
@@ -114,16 +120,25 @@ TubePlane<typename D::value_type> tube_sampled(pram::Machine& mach,
     out.at(i, k) = tube_point<Minima>(sub, d, e, i, k, 0, q - 1);
   });
 
+  // Membership masks for the fill's "already solved" test.  Stride
+  // arithmetic (i % s == aligned) is not enough: the appended boundary
+  // row/column is sampled but not stride-aligned, and a fill branch that
+  // re-solved such a cell would write it while concurrent branches read
+  // it as a bracket corner.
+  std::vector<char> row_sampled(p, 0), col_sampled(r, 0);
+  for (std::size_t x : si) row_sampled[x] = 1;
+  for (std::size_t x : sk) col_sampled[x] = 1;
+
   // Fill: bracket each remaining output by the thetas of the enclosing
   // sampled grid corners.  Theta is non-decreasing in (i, k) for minima
   // and non-increasing for maxima; take the corner pair accordingly.
   mach.parallel_branches(p * r, [&](std::size_t t, pram::Machine& sub) {
     const std::size_t i = t / r;
     const std::size_t k = t % r;
+    if (row_sampled[i] && col_sampled[k]) return;  // phase 2 owns this cell
     // Locate the enclosing sampled cell.
     const std::size_t a = std::min((i / s), si.size() - 2);
     const std::size_t b = std::min((k / s), sk.size() - 2);
-    if (si[a] == i && sk[b] == k) return;  // already solved
     const std::size_t jlo_min = out.at(si[a], sk[b]).j;
     const std::size_t jhi_min = out.at(si[a + 1], sk[b + 1]).j;
     std::size_t jlo, jhi;

@@ -3,8 +3,8 @@
 // The paper's results are stated for CREW and CRCW PRAMs.  Neither exists
 // as hardware, so this module *simulates* them: algorithms are expressed in
 // terms of synchronous parallel primitives, each primitive executes on the
-// host (optionally via OpenMP) and charges its textbook parallel depth and
-// work to a meter.  The meter's three outputs -- parallel time (steps),
+// host (concurrently, via the src/exec thread-pool engine) and charges its
+// textbook parallel depth and work to a meter.  The meter's three outputs -- parallel time (steps),
 // work (processor-steps) and peak concurrent processors -- are exactly the
 // quantities the paper's Tables 1.1-1.3 bound, so measured series can be
 // compared against the claimed shapes on any host.
@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallel.hpp"
 #include "support/check.hpp"
 
 namespace pmonge::pram {
@@ -83,15 +84,25 @@ class Machine {
   /// advances by the *maximum* branch time, the *sum* of branch work, and
   /// peak processors equal to the sum of branch peaks (all branches are
   /// concurrently active in the simulated machine).
+  ///
+  /// Branches execute concurrently on the host engine.  Each branch owns
+  /// its sub-machine, so no meter is ever charged from two threads, and
+  /// the merge below folds the sub-meters serially in branch order --
+  /// charged totals are identical at every PMONGE_THREADS setting.
+  /// Branch bodies must write only branch-private state (disjoint output
+  /// slots); that is the same independence the simulated machine already
+  /// required of them.
   template <class F>
   void parallel_branches(std::size_t k, F&& run_branch) {
     if (k == 0) return;
+    std::vector<Machine> subs;
+    subs.reserve(k);
+    for (std::size_t b = 0; b < k; ++b) subs.emplace_back(model_);
+    exec::parallel_tasks(k, [&](std::size_t b) { run_branch(b, subs[b]); });
     std::uint64_t max_time = 0;
     std::uint64_t sum_work = 0;
     std::uint64_t sum_peak = 0;
-    for (std::size_t b = 0; b < k; ++b) {
-      Machine sub(model_);
-      run_branch(b, sub);
+    for (const Machine& sub : subs) {
       max_time = std::max(max_time, sub.meter().time);
       sum_work += sub.meter().work;
       sum_peak += sub.meter().peak_processors;

@@ -21,8 +21,18 @@
 //
 // Algorithms in src/par never touch arrays except through these, so the
 // measured step/work series reported by the benchmarks are honest.
+//
+// Host execution: every primitive *charges* the simulated machine's cost
+// analytically (a pure function of n and the model) and then *executes*
+// on the host-parallel engine of src/exec -- data-parallel skeletons over
+// a shared thread pool with fixed, thread-count-independent chunking.
+// Results and charged costs are therefore identical at every
+// PMONGE_THREADS setting; only wall-clock time changes.  Charging always
+// happens on the calling thread, never inside an engine task, so one
+// meter is never touched from two threads (see docs/cost_model.md).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -30,13 +40,10 @@
 #include <utility>
 #include <vector>
 
+#include "exec/parallel.hpp"
 #include "pram/machine.hpp"
 #include "support/check.hpp"
 #include "support/series.hpp"
-
-#if defined(PMONGE_HAVE_OPENMP)
-#include <omp.h>
-#endif
 
 namespace pmonge::pram {
 
@@ -54,21 +61,13 @@ struct OptResult {
 // ---------------------------------------------------------------------------
 
 /// Execute body(i) for i in [0, n) as one synchronous step with n
-/// processors.  Bodies must be independent (the simulator runs them in an
-/// unspecified order, possibly concurrently via OpenMP).
+/// processors.  Bodies must be independent (the engine runs them
+/// concurrently in an unspecified order).
 template <class F>
 void parallel_for(Machine& m, std::size_t n, F&& body) {
   if (n == 0) return;
   m.meter().charge(1, n);
-#if defined(PMONGE_HAVE_OPENMP)
-  if (n >= 4096) {
-    const auto sn = static_cast<std::int64_t>(n);
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < sn; ++i) body(static_cast<std::size_t>(i));
-    return;
-  }
-#endif
-  for (std::size_t i = 0; i < n; ++i) body(i);
+  exec::parallel_for(n, exec::grain_for(), body);
 }
 
 /// Concurrent read of one shared cell by n processors: a single step on
@@ -77,7 +76,7 @@ template <class F>
 void broadcast(Machine& m, std::size_t n, F&& body) {
   if (n == 0) return;
   m.meter().charge(1, n);
-  for (std::size_t i = 0; i < n; ++i) body(i);
+  exec::parallel_for(n, exec::grain_for(), body);
 }
 
 // ---------------------------------------------------------------------------
@@ -85,17 +84,36 @@ void broadcast(Machine& m, std::size_t n, F&& body) {
 // ---------------------------------------------------------------------------
 
 /// Tree reduction of eval(0..n-1) under `op`; CREW cost (lg-depth tree).
+/// `op` must be associative with identity `identity`; the engine folds
+/// fixed chunks left-to-right, so results match the serial fold exactly
+/// at every thread count.
 template <class T, class Eval, class Op>
 T reduce(Machine& m, std::size_t n, Eval&& eval, Op&& op, T identity) {
   if (n == 0) return identity;
   m.meter().charge(static_cast<std::uint64_t>(ceil_lg(n)),
                    (n + 1) / 2, 2 * n);
-  T acc = identity;
-  for (std::size_t i = 0; i < n; ++i) acc = op(acc, eval(i));
-  return acc;
+  return exec::parallel_reduce(n, exec::grain_for(), identity, eval, op);
 }
 
 namespace detail {
+
+/// Engine-parallel leftmost argopt: chunk winners combined in index
+/// order, so ties resolve to the smallest index exactly as the serial
+/// sweep would.  `better(a, b)` is the strict preference of argopt.
+template <class T, class Eval, class Better>
+OptResult<T> engine_argopt(std::size_t n, const Eval& eval,
+                           const Better& better) {
+  return exec::parallel_reduce(
+      n, exec::grain_for(2), OptResult<T>{},
+      [&](std::size_t i) {
+        return OptResult<T>{eval(i), i};
+      },
+      [&](const OptResult<T>& a, const OptResult<T>& b) {
+        if (b.index == kNoIndex) return a;
+        if (a.index == kNoIndex) return b;
+        return better(b, a) ? b : a;
+      });
+}
 
 /// Doubly-logarithmic CRCW argopt round schedule: candidate set sizes fall
 /// as s -> s / g with g = max(2, n / s), reaching 1 in O(lglg n) rounds
@@ -115,17 +133,16 @@ OptResult<T> crcw_argopt(Machine& m, std::vector<OptResult<T>> cand,
     // plus one step in which the unique unmarked processor in each group
     // writes the winner.
     m.meter().charge(2, s * g, s * g + s);
-    std::vector<OptResult<T>> next;
-    next.reserve(groups);
-    for (std::size_t b = 0; b < groups; ++b) {
+    std::vector<OptResult<T>> next(groups);
+    exec::parallel_for(groups, exec::grain_for(g), [&](std::size_t b) {
       const std::size_t lo = b * g;
       const std::size_t hi = std::min(s, lo + g);
       OptResult<T> best = cand[lo];
       for (std::size_t i = lo + 1; i < hi; ++i) {
         if (better(cand[i], best)) best = cand[i];
       }
-      next.push_back(best);
-    }
+      next[b] = best;
+    });
     cand = std::move(next);
   }
   return cand.empty() ? OptResult<T>{} : cand[0];
@@ -150,26 +167,18 @@ OptResult<T> argopt(Machine& m, std::size_t n, Eval&& eval, Less&& less) {
     case Model::CREW: {
       m.meter().charge(static_cast<std::uint64_t>(ceil_lg(n)),
                        (n + 1) / 2, 2 * n);
-      OptResult<T> best{eval(0), 0};
-      for (std::size_t i = 1; i < n; ++i) {
-        OptResult<T> c{eval(i), i};
-        if (better(c, best)) best = c;
-      }
-      return best;
+      return detail::engine_argopt<T>(n, eval, better);
     }
     case Model::CRCW_COMBINING: {
       m.meter().charge(1, n);
-      OptResult<T> best{eval(0), 0};
-      for (std::size_t i = 1; i < n; ++i) {
-        OptResult<T> c{eval(i), i};
-        if (better(c, best)) best = c;
-      }
-      return best;
+      return detail::engine_argopt<T>(n, eval, better);
     }
     default: {  // COMMON / ARBITRARY / PRIORITY: doubly-logarithmic
       std::vector<OptResult<T>> cand(n);
       m.meter().charge(1, n);  // load candidates
-      for (std::size_t i = 0; i < n; ++i) cand[i] = {eval(i), i};
+      exec::parallel_for(n, exec::grain_for(), [&](std::size_t i) {
+        cand[i] = {eval(i), i};
+      });
       return detail::crcw_argopt(m, std::move(cand), better);
     }
   }
@@ -195,31 +204,26 @@ OptResult<T> max_element_par(Machine& m, std::span<const T> xs) {
 // ---------------------------------------------------------------------------
 
 /// Work-efficient exclusive prefix scan (Blelloch up-sweep/down-sweep):
-/// 2 ceil(lg n) steps, ~4n work.  Returns the total as well.
+/// 2 ceil(lg n) steps, ~4n work.  Returns the total as well.  `op` must
+/// be associative with identity `identity`.
 template <class T, class Op>
 T exclusive_scan_par(Machine& m, std::span<T> xs, Op&& op, T identity) {
   const std::size_t n = xs.size();
   if (n == 0) return identity;
   m.meter().charge(2 * static_cast<std::uint64_t>(ceil_lg(n)),
                    (n + 1) / 2, 4 * n);
-  T acc = identity;
-  for (std::size_t i = 0; i < n; ++i) {
-    T x = xs[i];
-    xs[i] = acc;
-    acc = op(acc, x);
-  }
-  return acc;
+  return exec::parallel_scan_exclusive(xs, exec::grain_for(), op, identity);
 }
 
-/// Inclusive prefix scan; same cost as the exclusive scan.
+/// Inclusive prefix scan; same cost as the exclusive scan.  `op` must be
+/// associative.
 template <class T, class Op>
 T inclusive_scan_par(Machine& m, std::span<T> xs, Op&& op) {
   const std::size_t n = xs.size();
   if (n == 0) return T{};
   m.meter().charge(2 * static_cast<std::uint64_t>(ceil_lg(n)),
                    (n + 1) / 2, 4 * n);
-  for (std::size_t i = 1; i < n; ++i) xs[i] = op(xs[i - 1], xs[i]);
-  return xs[n - 1];
+  return exec::parallel_scan_inclusive(xs, exec::grain_for(), op);
 }
 
 // ---------------------------------------------------------------------------
@@ -243,13 +247,19 @@ void scatter_write(Machine& m, std::span<T> cells,
                    std::span<const WriteIntent<T>> intents, Combine&& combine) {
   if (intents.empty()) return;
   m.meter().charge(1, intents.size());
-  // Detect races.  Sorting a copy keeps the public span const.
-  std::vector<const WriteIntent<T>*> by_addr;
-  by_addr.reserve(intents.size());
-  for (const auto& w : intents) {
-    PMONGE_REQUIRE(w.addr < cells.size(), "scatter_write out of range");
-    by_addr.push_back(&w);
-  }
+  // Validate addresses on the engine, then detect races with a serial
+  // sorted sweep: conflict detection must see the *complete* write set of
+  // the step at once, so it runs single-threaded no matter how the
+  // intents were produced -- exactness does not depend on PMONGE_THREADS.
+  const bool in_range = exec::parallel_reduce(
+      intents.size(), exec::grain_for(), true,
+      [&](std::size_t i) { return intents[i].addr < cells.size(); },
+      [](bool a, bool b) { return a && b; });
+  PMONGE_REQUIRE(in_range, "scatter_write out of range");
+  // Sorting a copy keeps the public span const.
+  std::vector<const WriteIntent<T>*> by_addr(intents.size());
+  exec::parallel_for(intents.size(), exec::grain_for(),
+                     [&](std::size_t i) { by_addr[i] = &intents[i]; });
   std::sort(by_addr.begin(), by_addr.end(),
             [](const WriteIntent<T>* a, const WriteIntent<T>* b) {
               if (a->addr != b->addr) return a->addr < b->addr;
@@ -326,6 +336,8 @@ std::vector<std::size_t> pack_indices(Machine& m, std::size_t n, Keep&& keep) {
 
 /// Merge two sorted sequences by cross-ranking (every element binary
 /// searches the other sequence): ceil(lg(|a|+|b|)) steps, (|a|+|b|) procs.
+/// Host execution is serial (std::merge): the charged cost models the
+/// PRAM; no call site is wall-clock-hot enough to justify an engine path.
 template <class T, class Less>
 std::vector<T> parallel_merge(Machine& m, std::span<const T> a,
                               std::span<const T> b, Less&& less) {

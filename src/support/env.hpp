@@ -1,0 +1,38 @@
+// Environment-variable knob parsing shared by the execution engine and
+// the test/bench harnesses (PMONGE_THREADS, PMONGE_GRAIN, PMONGE_FUZZ_SEED).
+//
+// All knobs are read-once at first use: the engine caches the parsed
+// value so a mid-run setenv cannot make two halves of one computation
+// disagree about a cutoff.  Malformed values fall back to the default
+// rather than aborting -- a typo in an env var must never change results,
+// only (at worst) performance.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace pmonge::support {
+
+/// Parse a non-negative integer environment variable.  Returns nullopt
+/// when unset, empty, or not a clean base-10 integer.
+inline std::optional<std::uint64_t> env_uint(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+/// env_uint with a default and a lower clamp (knobs like thread counts
+/// and grain sizes are meaningless at zero).
+inline std::uint64_t env_uint_or(const char* name, std::uint64_t def,
+                                 std::uint64_t lo = 0) {
+  const auto v = env_uint(name);
+  const std::uint64_t x = v.has_value() ? *v : def;
+  return x < lo ? lo : x;
+}
+
+}  // namespace pmonge::support

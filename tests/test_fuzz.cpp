@@ -1,11 +1,18 @@
-// Cross-module randomized fuzzing: one seed drives a storm of random
-// instances through every search path, cross-checking all algorithm
-// families against each other and against the brute oracles.  This is
-// the catch-all net under the targeted suites: any divergence between
-// two implementations of the same problem fails loudly with the seed in
-// the message.
+// Cross-module randomized differential fuzzing: one seed drives a storm
+// of random instances through every search path, cross-checking all
+// algorithm families against each other and against the brute oracles.
+// This is the catch-all net under the targeted suites: any divergence
+// between two implementations of the same problem fails loudly with the
+// seed (and, where relevant, the engine thread count) in the message, so
+// a failure reproduces as a one-liner:
+//
+//   PMONGE_FUZZ_SEED=<seed> ./test_fuzz --gtest_filter='Seeds/Fuzz.*'
+//
+// PMONGE_FUZZ_SEED appends an extra seed to the built-in corpus; CI can
+// rotate it without touching code.
 #include <gtest/gtest.h>
 
+#include "exec/thread_pool.hpp"
 #include "monge/brute.hpp"
 #include "monge/composite.hpp"
 #include "monge/generators.hpp"
@@ -16,6 +23,7 @@
 #include "par/monge_rowminima.hpp"
 #include "par/staircase_rowminima.hpp"
 #include "par/tube_maxima.hpp"
+#include "support/env.hpp"
 #include "support/rng.hpp"
 
 namespace pmonge {
@@ -25,6 +33,17 @@ using monge::DenseArray;
 using monge::StaircaseArray;
 using pram::Machine;
 using pram::Model;
+
+/// Built-in seed corpus, plus an optional extra seed from the
+/// PMONGE_FUZZ_SEED environment variable (how a failure found anywhere
+/// is replayed here verbatim).
+std::vector<std::uint64_t> fuzz_seeds() {
+  std::vector<std::uint64_t> seeds{1, 2, 3, 5, 8, 13, 21, 34};
+  if (auto extra = support::env_uint("PMONGE_FUZZ_SEED")) {
+    seeds.push_back(*extra);
+  }
+  return seeds;
+}
 
 class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -132,9 +151,50 @@ TEST_P(Fuzz, ViewsComposeConsistently) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
-                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
-                                           13ull, 21ull, 34ull),
+TEST_P(Fuzz, ParallelMatchesSequentialAcrossThreadCounts) {
+  // Differential harness for the host engine itself: the same random
+  // instances solved at several PMONGE_THREADS settings must produce
+  // identical results (values, tie-broken indices) and identical charged
+  // costs.  SMAWK is the engine-free sequential referee.
+  const std::size_t saved = exec::num_threads();
+  Rng shapes(GetParam() + 5000);
+  for (int t = 0; t < 4; ++t) {
+    const std::size_t m =
+        1 + static_cast<std::size_t>(shapes.uniform_int(0, 80));
+    const std::size_t n =
+        1 + static_cast<std::size_t>(shapes.uniform_int(0, 80));
+    Rng rng(GetParam() + 6000 + static_cast<std::uint64_t>(t));
+    const auto a = monge::random_monge(m, n, rng, 2, 9);  // tie-heavy
+    const auto referee = monge::smawk_row_minima(a);
+
+    std::vector<monge::RowOpt<std::int64_t>> first;
+    std::uint64_t first_time = 0, first_work = 0;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{3},
+                                std::size_t{8}}) {
+      exec::set_num_threads(threads);
+      Machine mach(Model::CRCW_COMMON);
+      const auto got = par::monge_row_minima(mach, a);
+      EXPECT_EQ(got, referee)
+          << "seed=" << GetParam() << " threads=" << threads << " m=" << m
+          << " n=" << n;
+      if (threads == 1) {
+        first = got;
+        first_time = mach.meter().time;
+        first_work = mach.meter().work;
+      } else {
+        EXPECT_EQ(got, first)
+            << "seed=" << GetParam() << " threads=" << threads;
+        EXPECT_EQ(mach.meter().time, first_time)
+            << "seed=" << GetParam() << " threads=" << threads;
+        EXPECT_EQ(mach.meter().work, first_work)
+            << "seed=" << GetParam() << " threads=" << threads;
+      }
+    }
+  }
+  exec::set_num_threads(saved);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::ValuesIn(fuzz_seeds()),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });

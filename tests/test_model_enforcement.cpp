@@ -7,6 +7,7 @@
 
 #include <optional>
 
+#include "exec/thread_pool.hpp"
 #include "monge/brute.hpp"
 #include "monge/generators.hpp"
 #include "net/engine.hpp"
@@ -121,6 +122,59 @@ TEST(Enforcement, BadStaircaseFrontiersRejected) {
       (monge::StaircaseArray<monge::DenseArray<std::int64_t>>(
           a, {2, 3, 3, 1, 0})),
       std::invalid_argument);  // increasing step
+}
+
+TEST(Enforcement, CrewConflictDetectionExactUnderConcurrency) {
+  // The conflict sweep must stay *exact* when the engine runs the write
+  // set multithreaded: a single conflicting pair hidden in a large
+  // scatter must throw at every thread count, and the same program with
+  // the conflict removed must pass.  (The sweep itself is serial by
+  // design -- see primitives.hpp -- so this pins that design against a
+  // future "optimization" racing the detector.)
+  const std::size_t saved = exec::num_threads();
+  constexpr std::size_t kN = 50000;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    exec::set_num_threads(threads);
+
+    std::vector<int> cells(kN, 0);
+    std::vector<WriteIntent<int>> w;
+    w.reserve(kN);
+    for (std::size_t p = 0; p < kN; ++p) {
+      w.push_back({p, (p * 7919) % kN, static_cast<int>(p)});  // permutation
+    }
+    {
+      Machine legal(Model::CREW);
+      EXPECT_NO_THROW(pram::scatter_write<int>(legal, cells, w)) << threads;
+    }
+    // Rig exactly one collision, buried mid-set.
+    w[kN / 2].addr = w[kN / 3].addr;
+    {
+      Machine rigged(Model::CREW);
+      EXPECT_THROW(pram::scatter_write<int>(rigged, cells, w),
+                   ModelViolation)
+          << threads;
+    }
+  }
+  exec::set_num_threads(saved);
+}
+
+TEST(Enforcement, CommonDisagreementDetectedUnderConcurrency) {
+  // Same exactness pin for CRCW-COMMON: 8 threads, many agreeing writers
+  // per cell, one disagreeing value hidden among them.
+  const std::size_t saved = exec::num_threads();
+  exec::set_num_threads(8);
+  constexpr std::size_t kCells = 4096;
+  std::vector<int> cells(kCells, -1);
+  std::vector<WriteIntent<int>> w;
+  for (std::size_t p = 0; p < 8 * kCells; ++p) {
+    w.push_back({p, p % kCells, static_cast<int>(p % kCells)});  // unanimous
+  }
+  Machine ok(Model::CRCW_COMMON);
+  EXPECT_NO_THROW(pram::scatter_write<int>(ok, cells, w));
+  w[5 * kCells + 17].value += 1;  // one dissenter
+  Machine bad(Model::CRCW_COMMON);
+  EXPECT_THROW(pram::scatter_write<int>(bad, cells, w), ModelViolation);
+  exec::set_num_threads(saved);
 }
 
 TEST(Enforcement, MeterNeverRegresses) {
