@@ -1,0 +1,138 @@
+// Serve-layer throughput bench: the same query stream answered (a) with
+// coalescing on, (b) with coalescing off (batch-of-one per request), and
+// (c) with a warm cache -- plus an overload run demonstrating explicit
+// `overloaded` rejection under a held worker.
+//
+// The acceptance bar for the batching layer: batched throughput on a
+// bursty stream must be >= unbatched on the same stream (the coalesced
+// run shares one recursive row-search decomposition across the burst
+// where the unbatched run pays it per request).
+//
+//   --rows N --cols N   registered array size       (default 256 x 256)
+//   --queries N         stream length               (default 512)
+//   --reps N            median-of-N repetitions     (default 5)
+//   --warmup N          throwaway runs per config   (default 1)
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/service.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using pmonge::serve::Service;
+using pmonge::serve::ServiceOptions;
+
+std::vector<std::string> make_stream(std::size_t rows, std::size_t queries) {
+  std::vector<std::string> qs;
+  qs.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    // Distinct ids keep every request distinct on the wire while the
+    // cache signature (which strips ids) still coalesces repeats.
+    qs.push_back("{\"op\":\"rowmin\",\"array\":0,\"id\":" + std::to_string(i) +
+                 ",\"row\":" + std::to_string(i % rows) + "}");
+  }
+  return qs;
+}
+
+/// Submit the whole stream as a burst (worker held), then time the drain.
+double run_stream(Service& svc, const std::vector<std::string>& stream) {
+  svc.pause();
+  std::vector<std::future<std::string>> futs;
+  futs.reserve(stream.size());
+  for (const auto& q : stream) futs.push_back(svc.submit(q));
+  const auto t0 = std::chrono::steady_clock::now();
+  svc.resume();
+  for (auto& f : futs) f.get();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmonge::Cli cli(argc, argv);
+  const auto rows = static_cast<std::size_t>(cli.get_int("rows", 256));
+  const auto cols = static_cast<std::size_t>(cli.get_int("cols", 256));
+  const auto queries = static_cast<std::size_t>(cli.get_int("queries", 512));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+  const auto warmup = static_cast<std::size_t>(cli.get_int("warmup", 1));
+
+  pmonge::bench::print_header("serve throughput: batched vs unbatched");
+  const std::string reg = "{\"op\":\"register_random\",\"rows\":" +
+                          std::to_string(rows) +
+                          ",\"cols\":" + std::to_string(cols) + ",\"seed\":7}";
+  const auto stream = make_stream(rows, queries);
+
+  struct Config {
+    const char* name;
+    bool coalesce;
+    std::size_t cache;
+  };
+  const Config configs[] = {
+      {"unbatched, no cache", false, 0},
+      {"batched,   no cache", true, 0},
+      {"batched,   cold->warm cache", true, 4096},
+  };
+
+  pmonge::Table table({"config", "queries", "median ms", "qps", "min ms",
+                       "max ms"});
+  double unbatched_ms = 0, batched_ms = 0;
+  for (const Config& c : configs) {
+    ServiceOptions opts;
+    opts.coalesce = c.coalesce;
+    opts.cache_capacity = c.cache;
+    opts.queue_capacity = queries + 16;
+    opts.batch_max = 64;
+    Service svc(opts);
+    svc.request(reg);
+    const auto stats = pmonge::bench::timed_median(
+        [&] { run_stream(svc, stream); }, warmup, reps);
+    if (std::string(c.name).find("unbatched") != std::string::npos) {
+      unbatched_ms = stats.median_ms;
+    } else if (c.cache == 0) {
+      batched_ms = stats.median_ms;
+    }
+    table.add_row({c.name, pmonge::Table::num(queries),
+                   pmonge::Table::fixed(stats.median_ms, 2),
+                   pmonge::Table::fixed(
+                       1000.0 * static_cast<double>(queries) / stats.median_ms,
+                       0),
+                   pmonge::Table::fixed(stats.min_ms, 2),
+                   pmonge::Table::fixed(stats.max_ms, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "batched/unbatched median: "
+            << pmonge::Table::fixed(batched_ms / unbatched_ms, 3)
+            << " (<= 1.0 means batching wins)\n";
+
+  pmonge::bench::print_header("serve overload: bounded queue rejects");
+  ServiceOptions opts;
+  opts.coalesce = true;
+  opts.cache_capacity = 0;
+  opts.queue_capacity = 32;
+  Service svc(opts);
+  svc.request(reg);
+  svc.pause();  // hold the worker so the burst genuinely overflows
+  std::vector<std::future<std::string>> futs;
+  for (const auto& q : stream) futs.push_back(svc.submit(q));
+  svc.resume();
+  std::size_t ok = 0, rejected = 0;
+  for (auto& f : futs) {
+    const std::string resp = f.get();
+    if (resp.find("overloaded") != std::string::npos) {
+      ++rejected;
+    } else {
+      ++ok;
+    }
+  }
+  std::cout << "submitted " << stream.size() << " into capacity "
+            << opts.queue_capacity << ": " << ok << " answered, " << rejected
+            << " rejected `overloaded`, 0 dropped\n";
+  return 0;
+}

@@ -2,6 +2,8 @@
 // columns, and uniform row emission through support/table.hpp.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -12,6 +14,47 @@
 #include "support/table.hpp"
 
 namespace pmonge::bench {
+
+// ---------------------------------------------------------------------------
+// Timing: warmup + median-of-N repetition
+// ---------------------------------------------------------------------------
+
+struct TimedStats {
+  double median_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  std::size_t reps = 0;
+};
+
+/// Time `body` with `warmup` throwaway runs (page-in, thread-pool spin-up,
+/// branch-predictor settling) followed by `reps` measured runs, reporting
+/// the median.  The median, not the mean, is the headline number: a
+/// single descheduling blip skews a mean arbitrarily but moves the median
+/// at most one rank.
+template <class F>
+TimedStats timed_median(F&& body, std::size_t warmup = 1,
+                        std::size_t reps = 5) {
+  using Clock = std::chrono::steady_clock;
+  if (reps == 0) reps = 1;
+  for (std::size_t i = 0; i < warmup; ++i) body();
+  std::vector<double> ms;
+  ms.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    body();
+    const auto t1 = Clock::now();
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(ms.begin(), ms.end());
+  TimedStats s;
+  s.reps = reps;
+  s.min_ms = ms.front();
+  s.max_ms = ms.back();
+  s.median_ms = reps % 2 == 1
+                    ? ms[reps / 2]
+                    : (ms[reps / 2 - 1] + ms[reps / 2]) / 2.0;
+  return s;
+}
 
 /// Power-of-two sweep [lo, hi].
 inline std::vector<std::size_t> pow2_sweep(std::size_t lo, std::size_t hi) {

@@ -1,0 +1,56 @@
+// Example: driving the serve layer in-process.  The same NDJSON requests
+// work over a pipe against the pmonge-serve binary:
+//
+//   ./build/examples/serve_client          # in-process, prints the exchange
+//   ./build/src/pmonge-serve < requests.ndjson
+//
+// Shows the whole protocol surface: registering arrays (random and
+// explicit), row searches on Monge / inverse-Monge / staircase operands,
+// tube queries on a composite, application queries, and `stats`.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+int main() {
+  pmonge::serve::Service svc;
+
+  const std::vector<std::string> requests = {
+      // Control plane: register operands.  Responses carry the array id.
+      R"({"op":"register_random","id":1,"rows":64,"cols":48,"seed":7})",
+      R"({"op":"register_random","id":2,"rows":32,"cols":32,"seed":9,"kind":"inverse_monge"})",
+      R"({"op":"register_random","id":3,"rows":24,"cols":24,"seed":11,"kind":"staircase"})",
+      R"({"op":"register_dense","id":4,"rows":2,"cols":2,"data":[0,1,2,2],"validate":true})",
+      // Composite pair for tube queries: d is 64x48, e must be 48xR.
+      R"({"op":"register_random","id":5,"rows":48,"cols":16,"seed":13})",
+
+      // Query plane.  Repeats of one signature hit the result cache; all
+      // of these coalesce into few engine runs when submitted as a burst.
+      R"({"op":"rowmin","id":10,"array":0,"row":5})",
+      R"({"op":"rowmin","id":11,"array":0,"row":6})",
+      R"({"op":"rowmax","id":12,"array":1,"row":3})",
+      R"({"op":"staircase_rowmin","id":13,"array":2,"row":2})",
+      R"({"op":"tubemax","id":14,"d":0,"e":4,"i":7,"k":3})",
+      R"({"op":"string_edit","id":15,"x":"kitten","y":"sitting"})",
+      R"({"op":"largest_rect","id":16,"points":[[0,0],[10,10],[3,7],[8,2]]})",
+      R"({"op":"empty_rect","id":17,"bound":[0,0,10,10],"points":[[3,4],[7,2],[5,8]]})",
+      R"({"op":"polygon_neighbors","id":18,"kind":"nearest_visible",)"
+      R"("p":[[0,0],[4,0],[4,4],[0,4]],"q":[[10,1],[13,1],[13,3],[10,3]]})",
+
+      // Deadlines and errors are part of the protocol, not exceptions.
+      R"({"op":"rowmin","id":19,"array":77,"row":0})",
+      R"({"op":"rowmin","id":20,"array":0,"row":5,"deadline_ms":5000})",
+
+      // Observability.
+      R"({"op":"stats","id":21})",
+  };
+
+  // request_batch submits everything up front (so the batcher actually
+  // coalesces) and returns responses aligned with the requests.
+  const std::vector<std::string> responses = svc.request_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    std::cout << ">> " << requests[i] << "\n<< " << responses[i] << "\n\n";
+  }
+  return 0;
+}

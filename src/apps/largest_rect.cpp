@@ -106,6 +106,19 @@ RectPair largest_rect_par(pram::Machine& mach, std::vector<IPoint> pts) {
   return best;
 }
 
+std::vector<RectPair> largest_rect_par_batch(
+    pram::Machine& mach, const std::vector<std::vector<IPoint>>& instances) {
+  for (const auto& pts : instances) {
+    PMONGE_REQUIRE(pts.size() >= 2, "need at least two points");
+  }
+  std::vector<RectPair> out(instances.size());
+  mach.parallel_branches(instances.size(),
+                         [&](std::size_t i, pram::Machine& sub) {
+                           out[i] = largest_rect_par(sub, instances[i]);
+                         });
+  return out;
+}
+
 std::vector<IPoint> random_points(std::size_t n, Rng& rng,
                                   std::int64_t coord_max) {
   std::vector<IPoint> pts(n);

@@ -42,6 +42,13 @@ RectPair largest_rect_brute(const std::vector<IPoint>& pts);
 /// the charged costs.  Requires n >= 2.
 RectPair largest_rect_par(pram::Machine& mach, std::vector<IPoint> pts);
 
+/// Batched entry (the serve layer's coalescing hook): solve every point
+/// set as one parallel_branches fan-out.  Results align with `instances`;
+/// each equals largest_rect_par on that instance alone.  Every instance
+/// needs >= 2 points.
+std::vector<RectPair> largest_rect_par_batch(
+    pram::Machine& mach, const std::vector<std::vector<IPoint>>& instances);
+
 /// The two dominance staircases (exposed for tests): minimal points (no
 /// other point weakly below-left) and maximal points, each sorted by x
 /// ascending (hence y non-increasing).

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -81,6 +83,18 @@ void parallel_tasks(std::size_t n, Body&& body) {
   parallel_for(n, 1, std::forward<Body>(body));
 }
 
+/// Heterogeneous batch submission: run every job in `jobs` as one engine
+/// batch, the submitting thread participating until all retire.  This is
+/// the hook the serve layer's batcher uses to push one coalesced service
+/// batch -- many unrelated query groups -- into the pool as a single
+/// submission instead of one submission per group.  Jobs must be
+/// independent; the first exception cancels the batch and rethrows on
+/// the caller, so jobs that must not poison their siblings catch
+/// internally.
+inline void parallel_jobs(std::span<const std::function<void()>> jobs) {
+  parallel_tasks(jobs.size(), [&](std::size_t i) { jobs[i](); });
+}
+
 /// Fold op over eval(0..n-1): per-chunk left fold from `identity`, then a
 /// serial left fold of the chunk results in chunk order.  Equals the
 /// serial left fold whenever op is associative with identity `identity`.
@@ -95,7 +109,10 @@ T parallel_reduce(std::size_t n, std::size_t grain, T identity, Eval&& eval,
     for (std::size_t i = 0; i < n; ++i) acc = op(acc, eval(i));
     return acc;
   }
-  std::vector<T> partial(nchunks, identity);
+  // Plain array, not std::vector<T>: with T = bool the vector
+  // specialization bit-packs, and concurrent chunks writing adjacent
+  // flags would race on the shared word.
+  std::unique_ptr<T[]> partial(new T[nchunks]);
   pool().run_chunks(nchunks, [&](std::size_t c) {
     const std::size_t lo = c * grain;
     const std::size_t hi = lo + grain < n ? lo + grain : n;

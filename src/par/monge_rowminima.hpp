@@ -178,6 +178,27 @@ std::vector<RowOpt<T>> rowmin_entry(pram::Machine& mach, std::size_t m,
   return rowmin_rec<PreferLeft, T>(mach, eval, rows, 0, n - 1);
 }
 
+/// Batched entry: same recursion restricted to an explicit strictly-
+/// increasing row subset (the serve layer's coalescing hook).  Results
+/// align with `rows`; each equals what a one-row query would return.
+template <bool PreferLeft, class T, class EvalF>
+std::vector<RowOpt<T>> rowmin_rows_entry(pram::Machine& mach,
+                                         std::size_t total_rows,
+                                         std::size_t n,
+                                         std::span<const std::size_t> rows,
+                                         const EvalF& eval) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    PMONGE_REQUIRE(rows[i] < total_rows, "row query out of range");
+    PMONGE_REQUIRE(i == 0 || rows[i - 1] < rows[i],
+                   "batched row queries must be strictly increasing");
+  }
+  if (rows.empty() || n == 0) {
+    return std::vector<RowOpt<T>>(rows.size(),
+                                  RowOpt<T>{monge::inf<T>(), kNoCol});
+  }
+  return rowmin_rec<PreferLeft, T>(mach, eval, rows, 0, n - 1);
+}
+
 }  // namespace detail
 
 /// Leftmost row minima of a Monge array on the simulated PRAM whose model
@@ -234,6 +255,75 @@ std::vector<RowOpt<typename A::value_type>> inverse_monge_row_minima(
     if (r.col != kNoCol) r.col = n - 1 - r.col;
   }
   return mins;
+}
+
+// ---------------------------------------------------------------------------
+// Batched row queries (serve-layer coalescing entry points)
+// ---------------------------------------------------------------------------
+//
+// Many independent "row r of array A" queries against the same array are
+// one invocation of the recursion restricted to those rows -- a Monge
+// array stays Monge under any row subset, so the sampled/bracketed
+// decomposition applies unchanged.  Each returned RowOpt is exactly what
+// the corresponding single-row query returns (row optima are per-row
+// facts; the batch only changes how the search amortizes), which is what
+// makes service responses independent of batching.  `rows` must be
+// strictly increasing (the monotone-argmin bracketing needs row order).
+
+/// Leftmost row minima of a Monge array, restricted to `rows`.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> monge_row_minima_rows(
+    pram::Machine& mach, const A& a, std::span<const std::size_t> rows) {
+  using T = typename A::value_type;
+  auto eval = [&a](std::size_t i, std::size_t j) { return a(i, j); };
+  return detail::rowmin_rows_entry<true, T>(mach, a.rows(), a.cols(), rows,
+                                            eval);
+}
+
+/// Leftmost row maxima of a Monge array, restricted to `rows`.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> monge_row_maxima_rows(
+    pram::Machine& mach, const A& a, std::span<const std::size_t> rows) {
+  using T = typename A::value_type;
+  const std::size_t n = a.cols();
+  auto eval = [&a, n](std::size_t i, std::size_t j) {
+    return -a(i, n - 1 - j);
+  };
+  auto res = detail::rowmin_rows_entry<false, T>(mach, a.rows(), n, rows,
+                                                 eval);
+  for (auto& r : res) {
+    r = {-r.value, r.col == kNoCol ? kNoCol : n - 1 - r.col};
+  }
+  return res;
+}
+
+/// Leftmost row maxima of an inverse-Monge array, restricted to `rows`.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> inverse_monge_row_maxima_rows(
+    pram::Machine& mach, const A& a, std::span<const std::size_t> rows) {
+  using T = typename A::value_type;
+  auto eval = [&a](std::size_t i, std::size_t j) { return -a(i, j); };
+  auto res = detail::rowmin_rows_entry<true, T>(mach, a.rows(), a.cols(),
+                                                rows, eval);
+  for (auto& r : res) r.value = -r.value;
+  return res;
+}
+
+/// Leftmost row minima of an inverse-Monge array, restricted to `rows`.
+template <Array2D A>
+std::vector<RowOpt<typename A::value_type>> inverse_monge_row_minima_rows(
+    pram::Machine& mach, const A& a, std::span<const std::size_t> rows) {
+  using T = typename A::value_type;
+  const std::size_t n = a.cols();
+  auto eval = [&a, n](std::size_t i, std::size_t j) {
+    return a(i, n - 1 - j);
+  };
+  auto res = detail::rowmin_rows_entry<false, T>(mach, a.rows(), n, rows,
+                                                 eval);
+  for (auto& r : res) {
+    if (r.col != kNoCol) r.col = n - 1 - r.col;
+  }
+  return res;
 }
 
 }  // namespace pmonge::par

@@ -299,4 +299,54 @@ std::vector<RowOpt<typename A::value_type>> staircase_inverse_row_maxima(
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Batched row queries (serve-layer coalescing entry points)
+// ---------------------------------------------------------------------------
+//
+// A row subset of a staircase-Monge array is staircase-Monge (the
+// selected frontiers inherit non-increasingness), so many row queries
+// against one staircase array coalesce into a single Theorem-2.3
+// invocation over the row-selected view.  Results align with `rows`,
+// which must be strictly increasing.
+
+namespace detail {
+
+template <bool Minima, monge::Array2D A>
+std::vector<RowOpt<typename A::value_type>> staircase_rows_entry(
+    pram::Machine& mach, const monge::StaircaseArray<A>& s,
+    std::span<const std::size_t> rows, StaircaseSchedule sched) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    PMONGE_REQUIRE(rows[i] < s.rows(), "row query out of range");
+    PMONGE_REQUIRE(i == 0 || rows[i - 1] < rows[i],
+                   "batched row queries must be strictly increasing");
+  }
+  monge::RowSelect<A> sel(s.base(),
+                          std::vector<std::size_t>(rows.begin(), rows.end()));
+  std::vector<std::size_t> frontier;
+  frontier.reserve(rows.size());
+  for (const std::size_t r : rows) frontier.push_back(s.frontier(r));
+  monge::StaircaseArray<monge::RowSelect<A>> sub(sel, std::move(frontier));
+  return staircase_opt<Minima>(mach, sub, sched);
+}
+
+}  // namespace detail
+
+/// Leftmost row minima of a staircase-Monge array, restricted to `rows`.
+template <monge::Array2D A>
+std::vector<RowOpt<typename A::value_type>> staircase_row_minima_rows(
+    pram::Machine& mach, const monge::StaircaseArray<A>& s,
+    std::span<const std::size_t> rows,
+    StaircaseSchedule sched = StaircaseSchedule::MaxParallel) {
+  return detail::staircase_rows_entry<true>(mach, s, rows, sched);
+}
+
+/// Leftmost row maxima over the finite region, restricted to `rows`.
+template <monge::Array2D A>
+std::vector<RowOpt<typename A::value_type>> staircase_row_maxima_rows(
+    pram::Machine& mach, const monge::StaircaseArray<A>& s,
+    std::span<const std::size_t> rows,
+    StaircaseSchedule sched = StaircaseSchedule::MaxParallel) {
+  return detail::staircase_rows_entry<false>(mach, s, rows, sched);
+}
+
 }  // namespace pmonge::par

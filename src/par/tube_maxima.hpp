@@ -30,6 +30,10 @@
 // returns only when all branches retire), so the phases never race.
 #pragma once
 
+#include <algorithm>
+#include <map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "monge/array.hpp"
@@ -182,6 +186,86 @@ TubePlane<typename D::value_type> tube_maxima(
   return strategy == TubeStrategy::PerSlice
              ? detail::tube_per_slice<false>(mach, d, e)
              : detail::tube_sampled<false>(mach, d, e);
+}
+
+// ---------------------------------------------------------------------------
+// Batched point queries (serve-layer coalescing entry points)
+// ---------------------------------------------------------------------------
+
+/// One output cell of the tube plane: opt over j of d[i][j] + e[j][k].
+struct TubeQuery {
+  std::size_t i = 0;
+  std::size_t k = 0;
+};
+
+namespace detail {
+
+/// Grouped execution: queries sharing a k live in the same Monge slice
+/// F_k[i][j] = d[i][j] + e[j][k], so each distinct k costs one batched
+/// row search over its queried rows; distinct slices run as parallel
+/// branches.  Results align with `qs` (duplicates allowed, any order).
+template <bool Minima, monge::Array2D D, monge::Array2D E>
+std::vector<TubeOpt<typename D::value_type>> tube_points_impl(
+    pram::Machine& mach, const D& d, const E& e,
+    std::span<const TubeQuery> qs) {
+  using T = typename D::value_type;
+  const std::size_t p = d.rows(), q = d.cols(), r = e.cols();
+  for (const TubeQuery& tq : qs) {
+    PMONGE_REQUIRE(tq.i < p && tq.k < r, "tube query out of range");
+  }
+  std::vector<TubeOpt<T>> out(qs.size());
+  std::map<std::size_t, std::vector<std::size_t>> by_k;  // k -> query idxs
+  for (std::size_t t = 0; t < qs.size(); ++t) by_k[qs[t].k].push_back(t);
+  std::vector<std::pair<std::size_t, std::vector<std::size_t>>> groups(
+      by_k.begin(), by_k.end());
+  mach.parallel_branches(groups.size(), [&](std::size_t g,
+                                            pram::Machine& sub) {
+    const std::size_t k = groups[g].first;
+    const std::vector<std::size_t>& members = groups[g].second;
+    std::vector<std::size_t> rows;
+    rows.reserve(members.size());
+    for (const std::size_t t : members) rows.push_back(qs[t].i);
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    auto fk = monge::make_func_array<T>(
+        p, q, [&, k](std::size_t i, std::size_t j) {
+          return d(i, j) + e(j, k);
+        });
+    auto res = Minima ? monge_row_minima_rows(sub, fk, rows)
+                      : monge_row_maxima_rows(sub, fk, rows);
+    for (const std::size_t t : members) {
+      const auto it =
+          std::lower_bound(rows.begin(), rows.end(), qs[t].i);
+      const auto& ro = res[static_cast<std::size_t>(it - rows.begin())];
+      out[t] = {ro.value, ro.col};
+    }
+  });
+  return out;
+}
+
+}  // namespace detail
+
+/// Batched tube-maxima point queries; each result equals the matching
+/// cell of tube_maxima(mach, d, e) (smallest-j ties).
+template <monge::Array2D D, monge::Array2D E>
+std::vector<TubeOpt<typename D::value_type>> tube_maxima_points(
+    pram::Machine& mach, const D& d, const E& e,
+    std::span<const TubeQuery> qs) {
+  PMONGE_REQUIRE(d.cols() == e.rows(), "composite dimensions mismatch");
+  PMONGE_REQUIRE(d.rows() > 0 && d.cols() > 0 && e.cols() > 0,
+                 "empty composite array");
+  return detail::tube_points_impl<false>(mach, d, e, qs);
+}
+
+/// Batched tube-minima point queries.
+template <monge::Array2D D, monge::Array2D E>
+std::vector<TubeOpt<typename D::value_type>> tube_minima_points(
+    pram::Machine& mach, const D& d, const E& e,
+    std::span<const TubeQuery> qs) {
+  PMONGE_REQUIRE(d.cols() == e.rows(), "composite dimensions mismatch");
+  PMONGE_REQUIRE(d.rows() > 0 && d.cols() > 0 && e.cols() > 0,
+                 "empty composite array");
+  return detail::tube_points_impl<true>(mach, d, e, qs);
 }
 
 }  // namespace pmonge::par

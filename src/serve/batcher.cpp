@@ -1,0 +1,485 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "apps/empty_rect.hpp"
+#include "apps/largest_rect.hpp"
+#include "apps/polygon_neighbors.hpp"
+#include "apps/string_edit.hpp"
+#include "exec/parallel.hpp"
+#include "geom/geometry.hpp"
+#include "par/monge_rowminima.hpp"
+#include "par/staircase_rowminima.hpp"
+#include "par/tube_maxima.hpp"
+
+namespace pmonge::serve {
+
+namespace {
+
+using monge::kNoCol;
+using monge::RowOpt;
+
+/// A request slot inside one coalesced group.
+struct Member {
+  const Request* req;
+  BatchOutcome* out;
+};
+
+void set_error(BatchOutcome& out, std::string why) {
+  out.ok = false;
+  out.error = std::move(why);
+}
+
+void set_ok(BatchOutcome& out, Json result) {
+  out.ok = true;
+  out.result = std::move(result);
+}
+
+/// Mark every member that has no outcome yet with a group-level error.
+void fail_unanswered(std::vector<Member>& members, const std::string& why) {
+  for (Member& m : members) {
+    if (!m.out->ok && m.out->error.empty()) set_error(*m.out, why);
+  }
+}
+
+std::int64_t int_field_or(const Json& body, const std::string& key,
+                          std::int64_t def) {
+  const Json* p = body.find(key);
+  return p == nullptr ? def : p->as_int();
+}
+
+/// Group-key helper: any malformed field maps to -1 here; the handler
+/// re-validates and produces the per-member error.
+std::int64_t group_int(const Json& body, const std::string& key) {
+  const Json* p = body.find(key);
+  if (p == nullptr || p->type() != Json::Type::Int) return -1;
+  return p->as_int();
+}
+
+/// Non-negative index field, checked against an exclusive bound.
+std::size_t index_field(const Json& body, const std::string& key,
+                        std::size_t bound, const char* what) {
+  const std::int64_t v = body.at(key).as_int();
+  if (v < 0 || static_cast<std::size_t>(v) >= bound) {
+    throw JsonError(std::string("bad_request: ") + what + " out of range");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+Json rowopt_result(const RowOpt<std::int64_t>& r) {
+  Json::Obj o;
+  if (r.col == kNoCol) {
+    o["col"] = -1;
+    o["value"] = nullptr;
+  } else {
+    o["col"] = static_cast<std::int64_t>(r.col);
+    o["value"] = r.value;
+  }
+  return Json(std::move(o));
+}
+
+/// Resolve a registered array or record a per-member error.
+std::shared_ptr<const ArrayEntry> resolve(Registry& reg, const Json& body,
+                                          const std::string& key,
+                                          BatchOutcome& out) {
+  const Json* p = body.find(key);
+  if (p == nullptr || p->type() != Json::Type::Int) {
+    set_error(out, "bad_request: missing or non-integer field \"" + key +
+                       "\"");
+    return nullptr;
+  }
+  const std::int64_t id = p->as_int();
+  std::shared_ptr<const ArrayEntry> entry =
+      id < 0 ? nullptr : reg.get(static_cast<std::uint64_t>(id));
+  if (entry == nullptr) {
+    set_error(out, "unknown_array: " + std::to_string(id));
+  }
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// Group handlers.  Each answers every member (outcome or error) and never
+// throws across the job boundary.
+// ---------------------------------------------------------------------------
+
+void run_row_group(std::vector<Member>& members,
+                   const std::shared_ptr<const ArrayEntry>& entry, bool maxima,
+                   pram::Model model, ServiceMetrics& metrics) {
+  if (entry->kind == ArrayEntry::Kind::Staircase) {
+    fail_unanswered(members, "wrong_kind: array is staircase; use "
+                             "staircase_rowmin / staircase_rowmax");
+    return;
+  }
+  std::vector<std::size_t> rows;
+  std::vector<std::pair<std::size_t, Member*>> live;  // row -> member
+  for (Member& m : members) {
+    try {
+      const std::size_t row =
+          index_field(m.req->body, "row", entry->data.rows(), "row");
+      rows.push_back(row);
+      live.emplace_back(row, &m);
+    } catch (const JsonError& e) {
+      set_error(*m.out, e.what());
+    }
+  }
+  if (live.empty()) return;
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  pram::Machine mach(model);
+  const bool inverse = entry->kind == ArrayEntry::Kind::InverseMonge;
+  std::vector<RowOpt<std::int64_t>> res;
+  if (!inverse && !maxima) {
+    res = par::monge_row_minima_rows(mach, entry->data, rows);
+  } else if (!inverse && maxima) {
+    res = par::monge_row_maxima_rows(mach, entry->data, rows);
+  } else if (inverse && !maxima) {
+    res = par::inverse_monge_row_minima_rows(mach, entry->data, rows);
+  } else {
+    res = par::inverse_monge_row_maxima_rows(mach, entry->data, rows);
+  }
+  metrics.charged_time().add(mach.meter().time);
+  metrics.charged_work().add(mach.meter().work);
+  for (auto& [row, m] : live) {
+    const auto it = std::lower_bound(rows.begin(), rows.end(), row);
+    set_ok(*m->out, rowopt_result(res[static_cast<std::size_t>(
+                        it - rows.begin())]));
+  }
+}
+
+void run_staircase_group(std::vector<Member>& members,
+                         const std::shared_ptr<const ArrayEntry>& entry,
+                         bool maxima, pram::Model model,
+                         ServiceMetrics& metrics) {
+  if (entry->kind != ArrayEntry::Kind::Staircase) {
+    fail_unanswered(members, "wrong_kind: array is not staircase");
+    return;
+  }
+  std::vector<std::size_t> rows;
+  std::vector<std::pair<std::size_t, Member*>> live;
+  for (Member& m : members) {
+    try {
+      const std::size_t row =
+          index_field(m.req->body, "row", entry->data.rows(), "row");
+      rows.push_back(row);
+      live.emplace_back(row, &m);
+    } catch (const JsonError& e) {
+      set_error(*m.out, e.what());
+    }
+  }
+  if (live.empty()) return;
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  pram::Machine mach(model);
+  monge::StaircaseArray<monge::DenseArray<std::int64_t>> s(entry->data,
+                                                           entry->frontier);
+  auto res = maxima ? par::staircase_row_maxima_rows(mach, s, rows)
+                    : par::staircase_row_minima_rows(mach, s, rows);
+  metrics.charged_time().add(mach.meter().time);
+  metrics.charged_work().add(mach.meter().work);
+  for (auto& [row, m] : live) {
+    const auto it = std::lower_bound(rows.begin(), rows.end(), row);
+    set_ok(*m->out, rowopt_result(res[static_cast<std::size_t>(
+                        it - rows.begin())]));
+  }
+}
+
+void run_tube_group(std::vector<Member>& members,
+                    const std::shared_ptr<const ArrayEntry>& d,
+                    const std::shared_ptr<const ArrayEntry>& e, bool maxima,
+                    pram::Model model, ServiceMetrics& metrics) {
+  if (d->kind != ArrayEntry::Kind::Monge ||
+      e->kind != ArrayEntry::Kind::Monge) {
+    fail_unanswered(members, "wrong_kind: tube operands must be monge");
+    return;
+  }
+  if (d->data.cols() != e->data.rows()) {
+    fail_unanswered(members, "bad_request: composite dimensions mismatch");
+    return;
+  }
+  std::vector<par::TubeQuery> qs;
+  std::vector<Member*> live;
+  for (Member& m : members) {
+    try {
+      par::TubeQuery q;
+      q.i = index_field(m.req->body, "i", d->data.rows(), "i");
+      q.k = index_field(m.req->body, "k", e->data.cols(), "k");
+      qs.push_back(q);
+      live.push_back(&m);
+    } catch (const JsonError& ex) {
+      set_error(*m.out, ex.what());
+    }
+  }
+  if (live.empty()) return;
+  pram::Machine mach(model);
+  auto res = maxima ? par::tube_maxima_points(mach, d->data, e->data, qs)
+                    : par::tube_minima_points(mach, d->data, e->data, qs);
+  metrics.charged_time().add(mach.meter().time);
+  metrics.charged_work().add(mach.meter().work);
+  for (std::size_t t = 0; t < live.size(); ++t) {
+    Json::Obj o;
+    o["value"] = res[t].value;
+    o["j"] = static_cast<std::int64_t>(res[t].j);
+    set_ok(*live[t]->out, Json(std::move(o)));
+  }
+}
+
+void run_edit_group(std::vector<Member>& members, pram::Model model,
+                    ServiceMetrics& metrics) {
+  std::vector<apps::EditJob> jobs;
+  std::vector<Member*> live;
+  for (Member& m : members) {
+    try {
+      apps::EditJob job;
+      job.x = m.req->body.at("x").as_string();
+      job.y = m.req->body.at("y").as_string();
+      job.costs.ins = int_field_or(m.req->body, "ins", 1);
+      job.costs.del = int_field_or(m.req->body, "del", 1);
+      job.costs.sub = int_field_or(m.req->body, "sub", 1);
+      jobs.push_back(std::move(job));
+      live.push_back(&m);
+    } catch (const JsonError& e) {
+      set_error(*m.out, e.what());
+    }
+  }
+  if (live.empty()) return;
+  pram::Machine mach(model);
+  const auto costs = apps::edit_distance_par_batch(mach, jobs);
+  metrics.charged_time().add(mach.meter().time);
+  metrics.charged_work().add(mach.meter().work);
+  for (std::size_t t = 0; t < live.size(); ++t) {
+    Json::Obj o;
+    o["cost"] = costs[t];
+    set_ok(*live[t]->out, Json(std::move(o)));
+  }
+}
+
+void run_largest_rect_group(std::vector<Member>& members, pram::Model model,
+                            ServiceMetrics& metrics) {
+  std::vector<std::vector<apps::IPoint>> instances;
+  std::vector<Member*> live;
+  for (Member& m : members) {
+    try {
+      std::vector<apps::IPoint> pts;
+      for (const Json& p : m.req->body.at("points").arr()) {
+        const auto& xy = p.arr();
+        if (xy.size() != 2) throw JsonError("bad_request: point is not [x,y]");
+        pts.push_back({xy[0].as_int(), xy[1].as_int()});
+      }
+      if (pts.size() < 2) {
+        throw JsonError("bad_request: need at least two points");
+      }
+      instances.push_back(std::move(pts));
+      live.push_back(&m);
+    } catch (const JsonError& e) {
+      set_error(*m.out, e.what());
+    }
+  }
+  if (live.empty()) return;
+  pram::Machine mach(model);
+  const auto best = apps::largest_rect_par_batch(mach, instances);
+  metrics.charged_time().add(mach.meter().time);
+  metrics.charged_work().add(mach.meter().work);
+  for (std::size_t t = 0; t < live.size(); ++t) {
+    Json::Obj o;
+    o["area"] = best[t].area;
+    o["a"] = Json(Json::Arr{Json(best[t].a.x), Json(best[t].a.y)});
+    o["b"] = Json(Json::Arr{Json(best[t].b.x), Json(best[t].b.y)});
+    set_ok(*live[t]->out, Json(std::move(o)));
+  }
+}
+
+void run_empty_rect_group(std::vector<Member>& members, pram::Model model,
+                          ServiceMetrics& metrics) {
+  pram::Machine mach(model);
+  mach.parallel_branches(members.size(), [&](std::size_t t,
+                                             pram::Machine& sub) {
+    Member& m = members[t];
+    try {
+      const auto& b = m.req->body.at("bound").arr();
+      if (b.size() != 4) throw JsonError("bad_request: bound is not [x1,y1,x2,y2]");
+      apps::Rect bound{b[0].as_double(), b[1].as_double(), b[2].as_double(),
+                       b[3].as_double()};
+      std::vector<apps::DPoint> pts;
+      for (const Json& p : m.req->body.at("points").arr()) {
+        const auto& xy = p.arr();
+        if (xy.size() != 2) throw JsonError("bad_request: point is not [x,y]");
+        pts.push_back({xy[0].as_double(), xy[1].as_double()});
+      }
+      const apps::Rect r = apps::largest_empty_rect_par(sub, std::move(pts),
+                                                        bound);
+      Json::Obj o;
+      o["x1"] = r.x1;
+      o["y1"] = r.y1;
+      o["x2"] = r.x2;
+      o["y2"] = r.y2;
+      o["area"] = r.area();
+      set_ok(*m.out, Json(std::move(o)));
+    } catch (const JsonError& e) {
+      set_error(*m.out, e.what());
+    } catch (const std::exception& e) {
+      set_error(*m.out, std::string("internal: ") + e.what());
+    }
+  });
+  metrics.charged_time().add(mach.meter().time);
+  metrics.charged_work().add(mach.meter().work);
+}
+
+apps::NeighborKind parse_neighbor_kind(const std::string& s) {
+  if (s == "nearest_visible") return apps::NeighborKind::NearestVisible;
+  if (s == "nearest_invisible") return apps::NeighborKind::NearestInvisible;
+  if (s == "farthest_visible") return apps::NeighborKind::FarthestVisible;
+  if (s == "farthest_invisible") return apps::NeighborKind::FarthestInvisible;
+  throw JsonError("bad_request: unknown neighbor kind \"" + s + "\"");
+}
+
+void run_polygon_group(std::vector<Member>& members, pram::Model model,
+                       ServiceMetrics& metrics) {
+  pram::Machine mach(model);
+  mach.parallel_branches(members.size(), [&](std::size_t t,
+                                             pram::Machine& sub) {
+    Member& m = members[t];
+    try {
+      auto parse_poly = [&](const char* key) {
+        std::vector<geom::Point> v;
+        for (const Json& p : m.req->body.at(key).arr()) {
+          const auto& xy = p.arr();
+          if (xy.size() != 2) throw JsonError("bad_request: vertex is not [x,y]");
+          v.push_back({xy[0].as_double(), xy[1].as_double()});
+        }
+        return geom::ConvexPolygon(std::move(v));
+      };
+      const geom::ConvexPolygon P = parse_poly("p");
+      const geom::ConvexPolygon Q = parse_poly("q");
+      const auto kind = parse_neighbor_kind(m.req->body.at("kind").as_string());
+      const auto res = apps::neighbors_par(sub, P, Q, kind);
+      Json::Arr neighbor, distance;
+      for (std::size_t i = 0; i < res.neighbor.size(); ++i) {
+        const bool miss = res.neighbor[i] == apps::NeighborResult::npos;
+        neighbor.push_back(miss ? Json(-1)
+                                : Json(static_cast<std::int64_t>(
+                                      res.neighbor[i])));
+        distance.push_back(miss ? Json(nullptr) : Json(res.distance[i]));
+      }
+      Json::Obj o;
+      o["neighbor"] = Json(std::move(neighbor));
+      o["distance"] = Json(std::move(distance));
+      set_ok(*m.out, Json(std::move(o)));
+    } catch (const JsonError& e) {
+      set_error(*m.out, e.what());
+    } catch (const std::exception& e) {
+      set_error(*m.out, std::string("internal: ") + e.what());
+    }
+  });
+  metrics.charged_time().add(mach.meter().time);
+  metrics.charged_work().add(mach.meter().work);
+}
+
+}  // namespace
+
+std::vector<BatchOutcome> Batcher::run(std::span<const Request> reqs) {
+  std::vector<BatchOutcome> out(reqs.size());
+
+  // Cache pass: answered hits never reach a group.
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (cache_.enabled()) {
+      if (auto hit = cache_.get(reqs[i].signature)) {
+        out[i].ok = true;
+        out[i].cache_hit = true;
+        out[i].result = Json::parse(*hit);
+        metrics_.endpoint(reqs[i].op).cache_hits.add();
+        continue;
+      }
+      metrics_.endpoint(reqs[i].op).cache_misses.add();
+    }
+    misses.push_back(i);
+  }
+
+  // Group the misses.  The key fixes everything a handler dispatches on;
+  // with coalescing off every request is its own group (same code path,
+  // so responses cannot depend on the toggle).
+  std::map<std::string, std::vector<Member>> groups;
+  for (const std::size_t i : misses) {
+    const Request& r = reqs[i];
+    std::string key = r.op;
+    if (r.op == "rowmin" || r.op == "rowmax" || r.op == "staircase_rowmin" ||
+        r.op == "staircase_rowmax") {
+      key += ":" + std::to_string(group_int(r.body, "array"));
+    } else if (r.op == "tubemax" || r.op == "tubemin") {
+      key += ":" + std::to_string(group_int(r.body, "d")) + ":" +
+             std::to_string(group_int(r.body, "e"));
+    }
+    if (!coalesce_) key += "#" + std::to_string(i);
+    groups[key].push_back(Member{&reqs[i], &out[i]});
+  }
+
+  // One engine submission for the whole batch; handlers never throw.
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(groups.size());
+  for (auto& [key, members_ref] : groups) {
+    std::vector<Member>* members = &members_ref;
+    jobs.push_back([this, members] {
+      std::vector<Member>& ms = *members;
+      const std::string& op = ms.front().req->op;
+      try {
+        if (op == "rowmin" || op == "rowmax") {
+          auto entry = resolve(registry_, ms.front().req->body, "array",
+                               *ms.front().out);
+          if (entry == nullptr) {
+            fail_unanswered(ms, ms.front().out->error);
+            return;
+          }
+          run_row_group(ms, entry, op == "rowmax", model_, metrics_);
+        } else if (op == "staircase_rowmin" || op == "staircase_rowmax") {
+          auto entry = resolve(registry_, ms.front().req->body, "array",
+                               *ms.front().out);
+          if (entry == nullptr) {
+            fail_unanswered(ms, ms.front().out->error);
+            return;
+          }
+          run_staircase_group(ms, entry, op == "staircase_rowmax", model_,
+                              metrics_);
+        } else if (op == "tubemax" || op == "tubemin") {
+          auto d = resolve(registry_, ms.front().req->body, "d",
+                           *ms.front().out);
+          auto e = d == nullptr ? nullptr
+                                : resolve(registry_, ms.front().req->body,
+                                          "e", *ms.front().out);
+          if (d == nullptr || e == nullptr) {
+            fail_unanswered(ms, ms.front().out->error);
+            return;
+          }
+          run_tube_group(ms, d, e, op == "tubemax", model_, metrics_);
+        } else if (op == "string_edit") {
+          run_edit_group(ms, model_, metrics_);
+        } else if (op == "largest_rect") {
+          run_largest_rect_group(ms, model_, metrics_);
+        } else if (op == "empty_rect") {
+          run_empty_rect_group(ms, model_, metrics_);
+        } else if (op == "polygon_neighbors") {
+          run_polygon_group(ms, model_, metrics_);
+        } else {
+          fail_unanswered(ms, "unknown_op: " + op);
+        }
+      } catch (const std::exception& e) {
+        fail_unanswered(ms, std::string("internal: ") + e.what());
+      }
+    });
+  }
+  exec::parallel_jobs(jobs);
+
+  // Memoize fresh successes under their signatures.
+  if (cache_.enabled()) {
+    for (const std::size_t i : misses) {
+      if (out[i].ok) cache_.put(reqs[i].signature, out[i].result.dump());
+    }
+  }
+  return out;
+}
+
+}  // namespace pmonge::serve

@@ -1,0 +1,67 @@
+// Query batcher: turns one admitted batch of heterogeneous requests into
+// the fewest engine runs that answer all of them.
+//
+// Coalescing rules (the tentpole's point -- see docs/serving.md):
+//   * row queries against the same registered array and direction become
+//     ONE batched row-search invocation (par/monge_rowminima.hpp's
+//     *_rows entry points), so B queries cost one recursive decomposition
+//     over B rows instead of B independent scans;
+//   * staircase row queries group the same way through the row-selected
+//     Theorem-2.3 view;
+//   * tube point queries group by (d, e) pair and share per-slice row
+//     searches (par/tube_maxima.hpp's *_points entry points);
+//   * application queries (string_edit, largest_rect, empty_rect,
+//     polygon_neighbors) group by op and fan out as parallel branches of
+//     one Machine.
+// All groups of a batch are then pushed into the exec engine as ONE
+// submission (exec::parallel_jobs).
+//
+// Correctness contract: outcome[i] depends only on request i -- never on
+// what else shared its batch -- so responses are bit-identical whether
+// coalescing is on or off.  Per-request failures (bad fields, unknown
+// arrays) are per-request errors; a group-level algorithm failure marks
+// only that group's members, never its batch siblings.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace pmonge::serve {
+
+struct BatchOutcome {
+  bool ok = false;
+  Json result;        // valid when ok
+  std::string error;  // valid when !ok
+  bool cache_hit = false;
+};
+
+class Batcher {
+ public:
+  Batcher(Registry& registry, ShardedLruCache& cache, ServiceMetrics& metrics,
+          pram::Model model, bool coalesce)
+      : registry_(registry),
+        cache_(cache),
+        metrics_(metrics),
+        model_(model),
+        coalesce_(coalesce) {}
+
+  /// Answer every query request in `reqs` (all must be query-plane ops).
+  /// Outcomes align with `reqs`; every request gets exactly one outcome.
+  std::vector<BatchOutcome> run(std::span<const Request> reqs);
+
+ private:
+  Registry& registry_;
+  ShardedLruCache& cache_;
+  ServiceMetrics& metrics_;
+  pram::Model model_;
+  bool coalesce_;
+};
+
+}  // namespace pmonge::serve

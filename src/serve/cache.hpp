@@ -1,0 +1,139 @@
+// Sharded LRU result cache for the query service.
+//
+// Keys are canonical query signatures "(op, array id, parameters)" --
+// the canonical JSON dump of the request body minus transport fields --
+// and values are canonical result payloads, so a cache hit reproduces a
+// computed response byte for byte (the warm-vs-cold bit-identical
+// guarantee of docs/serving.md).
+//
+// Sharding: the key hash picks one of `shards` independent LRU maps,
+// each behind its own mutex, so concurrent producers rarely contend on
+// one lock.  Eviction is per shard (capacity is split evenly), which
+// bounds total residency at `capacity` entries while keeping eviction
+// decisions lock-local.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pmonge::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+class ShardedLruCache {
+ public:
+  /// A cache holding at most ~`capacity` entries across `shards` shards
+  /// (each shard holds at most ceil(capacity / shards)).  capacity == 0
+  /// disables the cache: get() always misses, put() is a no-op.
+  ShardedLruCache(std::size_t capacity, std::size_t shards)
+      : per_shard_(shards == 0 ? capacity
+                               : (capacity + shards - 1) / std::max<std::size_t>(1, shards)) {
+    const std::size_t n = std::max<std::size_t>(1, shards);
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  bool enabled() const { return per_shard_ > 0; }
+
+  /// Look up `key`; a hit refreshes its recency.
+  std::optional<std::string> get(const std::string& key) {
+    if (!enabled()) return std::nullopt;
+    Shard& sh = shard_of(key);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.index.find(key);
+    if (it == sh.index.end()) {
+      ++sh.misses;
+      return std::nullopt;
+    }
+    ++sh.hits;
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Insert or refresh `key`; evicts the shard's least-recently-used
+  /// entry when the shard is at capacity.
+  void put(const std::string& key, std::string value) {
+    if (!enabled()) return;
+    Shard& sh = shard_of(key);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.index.find(key);
+    if (it != sh.index.end()) {
+      it->second->second = std::move(value);
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      return;
+    }
+    sh.lru.emplace_front(key, std::move(value));
+    sh.index.emplace(key, sh.lru.begin());
+    ++sh.insertions;
+    if (sh.lru.size() > per_shard_) {
+      sh.index.erase(sh.lru.back().first);
+      sh.lru.pop_back();
+      ++sh.evictions;
+    }
+  }
+
+  void clear() {
+    for (auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      sh->lru.clear();
+      sh->index.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      n += sh->lru.size();
+    }
+    return n;
+  }
+
+  CacheStats stats() const {
+    CacheStats s;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      s.hits += sh->hits;
+      s.misses += sh->misses;
+      s.insertions += sh->insertions;
+      s.evictions += sh->evictions;
+      s.entries += sh->lru.size();
+    }
+    return s;
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<std::string, std::string>> lru;  // front = newest
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  };
+
+  Shard& shard_of(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::size_t per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pmonge::serve

@@ -1,0 +1,133 @@
+// pmonge-serve: newline-delimited JSON service front-end over
+// serve::Service.  One request object per stdin line, one response object
+// per stdout line, in request order (the admission queue is FIFO, so
+// in-order awaiting never starves).  EOF on stdin drains in-flight work
+// and exits.
+//
+//   $ printf '%s\n%s\n' <register_random request> <rowmin request> \
+//       | pmonge-serve
+// (see docs/serving.md and examples/serve_client.cpp for full requests)
+//
+// Flags (see docs/serving.md): --queue N --batch N --cache N --shards N
+// --no-batch --no-cache --model NAME --deadline-ms N --max-cells N
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "exec/thread_pool.hpp"
+#include "pram/machine.hpp"
+#include "serve/service.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+pmonge::pram::Model parse_model(const std::string& name) {
+  using pmonge::pram::Model;
+  if (name == "crew") return Model::CREW;
+  if (name == "crcw" || name == "crcw_common") return Model::CRCW_COMMON;
+  if (name == "crcw_arbitrary") return Model::CRCW_ARBITRARY;
+  if (name == "crcw_priority") return Model::CRCW_PRIORITY;
+  std::fprintf(stderr,
+               "pmonge-serve: unknown model \"%s\" (want crew, crcw, "
+               "crcw_arbitrary, crcw_priority)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmonge::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::puts(
+        "pmonge-serve: NDJSON query service (one request per line on stdin,\n"
+        "one response per line on stdout; see docs/serving.md)\n"
+        "  --queue N        admission queue capacity (default 1024)\n"
+        "  --batch N        max requests coalesced per batch (default 64)\n"
+        "  --cache N        result cache capacity, 0 disables (default 4096)\n"
+        "  --shards N       cache shard count (default 8)\n"
+        "  --no-batch       disable coalescing (batch-of-one per request)\n"
+        "  --no-cache       disable the result cache\n"
+        "  --model NAME     crew | crcw | crcw_arbitrary | crcw_priority\n"
+        "                   (default crcw)\n"
+        "  --deadline-ms N  default per-request deadline (default: none)\n"
+        "  --max-cells N    register_* size guard (default 2^24)");
+    return 0;
+  }
+
+  // Touch the engine knobs eagerly: the pool initializes lazily, so a
+  // malformed PMONGE_THREADS / PMONGE_GRAIN would otherwise surface only
+  // on the first query large enough to fan out -- or never, for a
+  // service that happens to stay serial.  Fail loudly before serving.
+  try {
+    pmonge::exec::num_threads();
+    pmonge::exec::default_grain();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmonge-serve: %s\n", e.what());
+    return 2;
+  }
+
+  pmonge::serve::ServiceOptions opts;
+  opts.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 1024));
+  opts.batch_max = static_cast<std::size_t>(cli.get_int("batch", 64));
+  opts.cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 4096));
+  opts.cache_shards = static_cast<std::size_t>(cli.get_int("shards", 8));
+  if (cli.has("no-batch")) opts.coalesce = false;
+  if (cli.has("no-cache")) opts.cache_capacity = 0;
+  opts.model = parse_model(cli.get("model", "crcw"));
+  opts.default_deadline_ms = cli.get_int("deadline-ms", -1);
+  opts.max_register_cells =
+      static_cast<std::size_t>(cli.get_int("max-cells", std::int64_t{1} << 24));
+
+  pmonge::serve::Service service(opts);
+
+  // The reader thread submits lines as fast as stdin yields them (so
+  // bursts actually coalesce); the main thread awaits and prints in
+  // submission order.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::future<std::string>> pending;
+  bool done = false;
+
+  std::thread reader([&] {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      auto fut = service.submit(std::move(line));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        pending.push_back(std::move(fut));
+      }
+      cv.notify_one();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    cv.notify_one();
+  });
+
+  while (true) {
+    std::future<std::string> fut;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done || !pending.empty(); });
+      if (pending.empty()) break;
+      fut = std::move(pending.front());
+      pending.pop_front();
+    }
+    const std::string resp = fut.get();
+    std::fwrite(resp.data(), 1, resp.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+
+  reader.join();
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+
+namespace pmonge::serve {
+
+const std::vector<std::string>& query_ops() {
+  static const std::vector<std::string> ops = {
+      "rowmin",      "rowmax",       "staircase_rowmin", "staircase_rowmax",
+      "tubemax",     "tubemin",      "string_edit",      "largest_rect",
+      "empty_rect",  "polygon_neighbors",
+  };
+  return ops;
+}
+
+bool is_query_op(const std::string& op) {
+  const auto& ops = query_ops();
+  return std::find(ops.begin(), ops.end(), op) != ops.end();
+}
+
+bool is_control_op(const std::string& op) {
+  return op == "register_dense" || op == "register_staircase" ||
+         op == "register_random" || op == "unregister" || op == "stats" ||
+         op == "ping";
+}
+
+Request parse_request(const std::string& line) {
+  Request req;
+  req.body = Json::parse(line);
+  if (req.body.type() != Json::Type::Object) {
+    throw JsonError("bad_request: request must be a JSON object");
+  }
+  req.op = req.body.at("op").as_string();
+  if (const Json* id = req.body.find("id")) req.id = id->as_int();
+  if (const Json* dl = req.body.find("deadline_ms")) {
+    req.deadline_ms = dl->as_int();
+    if (req.deadline_ms < 0) {
+      throw JsonError("bad_request: deadline_ms must be >= 0");
+    }
+  }
+  if (is_query_op(req.op)) {
+    Json::Obj sig = req.body.obj();
+    sig.erase("id");
+    sig.erase("deadline_ms");
+    req.signature = Json(std::move(sig)).dump();
+  }
+  return req;
+}
+
+namespace {
+
+std::string finish(std::int64_t id, Json::Obj obj) {
+  if (id != kNoId) obj["id"] = id;
+  return Json(std::move(obj)).dump();
+}
+
+}  // namespace
+
+std::string make_ok_response(std::int64_t id, Json result) {
+  Json::Obj obj;
+  obj["ok"] = true;
+  obj["result"] = std::move(result);
+  return finish(id, std::move(obj));
+}
+
+std::string make_error_response(std::int64_t id, const std::string& error) {
+  Json::Obj obj;
+  obj["ok"] = false;
+  obj["error"] = error;
+  return finish(id, std::move(obj));
+}
+
+}  // namespace pmonge::serve

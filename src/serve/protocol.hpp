@@ -1,0 +1,60 @@
+// Wire protocol of the query service: newline-delimited JSON objects on
+// both directions (one request per line in, one response per line out).
+//
+// Request:  {"op": "<name>", ...op fields...,
+//            "id": <int, optional, echoed>,
+//            "deadline_ms": <int, optional, relative admission deadline>}
+// Response: {"id": <echoed if given>, "ok": true,  "result": {...}}
+//         | {"id": <echoed if given>, "ok": false, "error": "<reason>"}
+//
+// Ops split into two planes:
+//   * control plane (register_dense / register_staircase / register_random
+//     / unregister / stats / ping) -- handled synchronously at submission,
+//     never queued, so registration is always visible to queries admitted
+//     after its response;
+//   * query plane (rowmin / rowmax / staircase_rowmin / staircase_rowmax /
+//     tubemax / tubemin / string_edit / largest_rect / empty_rect /
+//     polygon_neighbors) -- admitted through the bounded queue, coalesced
+//     by the batcher, memoized by signature.
+//
+// The *signature* of a query is the canonical dump of its body with the
+// transport fields ("id", "deadline_ms") removed: two requests asking the
+// same question have equal signatures regardless of id, field order or
+// whitespace, which is what the result cache keys on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "serve/json.hpp"
+
+namespace pmonge::serve {
+
+inline constexpr std::int64_t kNoId = std::numeric_limits<std::int64_t>::min();
+
+struct Request {
+  std::int64_t id = kNoId;
+  std::string op;
+  Json body;              // the full parsed request object
+  std::string signature;  // canonical cache key (query ops)
+  std::int64_t deadline_ms = -1;  // relative; -1 = none given
+};
+
+/// Query-plane op names (also the metrics vocabulary).
+const std::vector<std::string>& query_ops();
+bool is_query_op(const std::string& op);
+
+/// Control-plane op names.
+bool is_control_op(const std::string& op);
+
+/// Parse one request line; throws JsonError on malformed input (bad
+/// JSON, missing or non-string op).  Computes the signature for query ops.
+Request parse_request(const std::string& line);
+
+/// Serialize a success / error response (canonical bytes).
+std::string make_ok_response(std::int64_t id, Json result);
+std::string make_error_response(std::int64_t id, const std::string& error);
+
+}  // namespace pmonge::serve

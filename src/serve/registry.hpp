@@ -1,0 +1,70 @@
+// Array registry: the service's table of long-lived Monge / inverse-
+// Monge / staircase-Monge operands that query traffic runs against.
+//
+// Entries are immutable once registered and handed out as
+// shared_ptr<const ...>, so an unregister (or a registry teardown) never
+// invalidates an in-flight batch that already resolved its operand --
+// the batch keeps the array alive until it finishes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "monge/array.hpp"
+
+namespace pmonge::serve {
+
+struct ArrayEntry {
+  enum class Kind { Monge, InverseMonge, Staircase };
+
+  Kind kind = Kind::Monge;
+  monge::DenseArray<std::int64_t> data;
+  std::vector<std::size_t> frontier;  // Staircase only; non-increasing
+
+  const char* kind_name() const {
+    switch (kind) {
+      case Kind::Monge: return "monge";
+      case Kind::InverseMonge: return "inverse_monge";
+      case Kind::Staircase: return "staircase";
+    }
+    return "?";
+  }
+};
+
+class Registry {
+ public:
+  std::uint64_t add(ArrayEntry entry) {
+    auto p = std::make_shared<const ArrayEntry>(std::move(entry));
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_id_++;
+    entries_.emplace(id, std::move(p));
+    return id;
+  }
+
+  std::shared_ptr<const ArrayEntry> get(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : it->second;
+  }
+
+  bool remove(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.erase(id) > 0;
+  }
+
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 0;
+  std::map<std::uint64_t, std::shared_ptr<const ArrayEntry>> entries_;
+};
+
+}  // namespace pmonge::serve

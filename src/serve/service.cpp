@@ -1,0 +1,339 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "monge/generators.hpp"
+#include "monge/validate.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge::serve {
+
+namespace {
+
+std::uint64_t us_between(ServeClock::time_point a, ServeClock::time_point b) {
+  const auto d = std::chrono::duration_cast<std::chrono::microseconds>(b - a);
+  return d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count());
+}
+
+std::vector<std::string> all_ops() {
+  std::vector<std::string> ops = query_ops();
+  for (const char* op : {"register_dense", "register_staircase",
+                         "register_random", "unregister", "stats", "ping"}) {
+    ops.emplace_back(op);
+  }
+  return ops;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opts)
+    : opts_(opts),
+      cache_(opts.cache_capacity, opts.cache_shards),
+      metrics_(all_ops()),
+      batcher_(registry_, cache_, metrics_, opts.model, opts.coalesce),
+      queue_(std::make_unique<AdmissionQueue<Pending>>(opts.queue_capacity)) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Service::~Service() {
+  queue_->stop();
+  worker_.join();
+}
+
+void Service::pause() { queue_->pause(true); }
+void Service::resume() { queue_->pause(false); }
+
+std::future<std::string> Service::submit(std::string line) {
+  std::promise<std::string> promise;
+  std::future<std::string> fut = promise.get_future();
+
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    metrics_.endpoint("_other").errors.add();
+    // Envelope-shape errors arrive pre-categorized as bad_request; only
+    // raw lexer failures get the parse_error category here.
+    std::string msg = e.what();
+    if (!msg.starts_with("bad_request: ")) msg = "parse_error: " + msg;
+    promise.set_value(make_error_response(kNoId, std::move(msg)));
+    return fut;
+  }
+
+  if (!is_query_op(req.op)) {
+    EndpointMetrics& em = metrics_.endpoint(req.op);
+    em.requests.add();
+    const auto t0 = ServeClock::now();
+    std::string resp = handle_control(req);
+    em.latency_us.record(us_between(t0, ServeClock::now()));
+    promise.set_value(std::move(resp));
+    return fut;
+  }
+
+  std::int64_t deadline_ms = req.deadline_ms;
+  if (deadline_ms < 0) deadline_ms = opts_.default_deadline_ms;
+  const auto deadline =
+      deadline_ms < 0
+          ? kNoDeadline
+          : ServeClock::now() + std::chrono::milliseconds(deadline_ms);
+
+  EndpointMetrics& em = metrics_.endpoint(req.op);
+  const std::int64_t id = req.id;
+  Pending p{std::move(req), std::move(promise)};
+  if (queue_->try_push(std::move(p), deadline) == AdmitResult::Overloaded) {
+    // try_push consumed p (by-value argument) even on rejection, taking the
+    // original promise with it; answer on a fresh one.
+    em.overloaded.add();
+    std::promise<std::string> reject;
+    fut = reject.get_future();
+    reject.set_value(make_error_response(id, "overloaded"));
+    return fut;
+  }
+  em.requests.add();
+  return fut;
+}
+
+std::string Service::request(const std::string& line) {
+  return submit(line).get();
+}
+
+std::vector<std::string> Service::request_batch(
+    const std::vector<std::string>& lines) {
+  std::vector<std::future<std::string>> futs;
+  futs.reserve(lines.size());
+  for (const auto& l : lines) futs.push_back(submit(l));
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
+}
+
+void Service::worker_loop() {
+  while (true) {
+    auto batch = queue_->pop_batch(opts_.batch_max);
+    if (batch.empty()) return;  // stopped and drained
+
+    metrics_.batches().add();
+    metrics_.batch_size().record(batch.size());
+
+    // Answer expired deadlines without running them; everything else
+    // forms the live batch the batcher coalesces.
+    std::vector<const Request*> live;
+    std::vector<std::size_t> live_idx;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].expired) {
+        const Request& r = batch[i].item.req;
+        EndpointMetrics& em = metrics_.endpoint(r.op);
+        em.expired.add();
+        em.errors.add();
+        em.latency_us.record(us_between(batch[i].enqueued, ServeClock::now()));
+        batch[i].item.promise.set_value(
+            make_error_response(r.id, "deadline_expired"));
+      } else {
+        live.push_back(&batch[i].item.req);
+        live_idx.push_back(i);
+      }
+    }
+    if (live.empty()) continue;
+
+    std::vector<Request> reqs;
+    reqs.reserve(live.size());
+    for (const Request* r : live) reqs.push_back(*r);
+    const auto outcomes = batcher_.run(reqs);
+
+    for (std::size_t t = 0; t < outcomes.size(); ++t) {
+      auto& slot = batch[live_idx[t]];
+      const Request& r = slot.item.req;
+      EndpointMetrics& em = metrics_.endpoint(r.op);
+      std::string resp;
+      if (outcomes[t].ok) {
+        em.ok.add();
+        resp = make_ok_response(r.id, outcomes[t].result);
+      } else {
+        em.errors.add();
+        resp = make_error_response(r.id, outcomes[t].error);
+      }
+      em.latency_us.record(us_between(slot.enqueued, ServeClock::now()));
+      slot.item.promise.set_value(std::move(resp));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t size_field(const Json& body, const char* key) {
+  const std::int64_t v = body.at(key).as_int();
+  if (v <= 0) throw JsonError(std::string("bad_request: ") + key +
+                              " must be positive");
+  return static_cast<std::size_t>(v);
+}
+
+monge::DenseArray<std::int64_t> dense_from_body(const Json& body,
+                                                std::size_t rows,
+                                                std::size_t cols) {
+  const auto& data = body.at("data").arr();
+  if (data.size() != rows * cols) {
+    throw JsonError("bad_request: data length != rows * cols");
+  }
+  monge::DenseArray<std::int64_t> a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      a.at(i, j) = data[i * cols + j].as_int();
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+std::string Service::handle_control(const Request& req) {
+  try {
+    if (req.op == "ping") {
+      Json::Obj o;
+      o["pong"] = true;
+      return make_ok_response(req.id, Json(std::move(o)));
+    }
+
+    if (req.op == "stats") {
+      return make_ok_response(req.id, stats_json());
+    }
+
+    if (req.op == "unregister") {
+      const std::int64_t id = req.body.at("array").as_int();
+      Json::Obj o;
+      o["removed"] =
+          id >= 0 && registry_.remove(static_cast<std::uint64_t>(id));
+      return make_ok_response(req.id, Json(std::move(o)));
+    }
+
+    if (req.op == "register_dense" || req.op == "register_staircase") {
+      const std::size_t rows = size_field(req.body, "rows");
+      const std::size_t cols = size_field(req.body, "cols");
+      if (rows * cols > opts_.max_register_cells) {
+        return make_error_response(req.id, "bad_request: array too large");
+      }
+      ArrayEntry entry;
+      entry.data = dense_from_body(req.body, rows, cols);
+      if (req.op == "register_staircase") {
+        entry.kind = ArrayEntry::Kind::Staircase;
+        const auto& fr = req.body.at("frontier").arr();
+        if (fr.size() != rows) {
+          throw JsonError("bad_request: frontier length != rows");
+        }
+        for (std::size_t i = 0; i < rows; ++i) {
+          const std::int64_t f = fr[i].as_int();
+          if (f < 0 || static_cast<std::size_t>(f) > cols) {
+            throw JsonError("bad_request: frontier entry out of range");
+          }
+          entry.frontier.push_back(static_cast<std::size_t>(f));
+          if (i > 0 && entry.frontier[i] > entry.frontier[i - 1]) {
+            throw JsonError("bad_request: frontier must be non-increasing");
+          }
+        }
+      } else {
+        const std::string kind =
+            req.body.find("kind") ? req.body.at("kind").as_string() : "monge";
+        if (kind == "monge") {
+          entry.kind = ArrayEntry::Kind::Monge;
+        } else if (kind == "inverse_monge") {
+          entry.kind = ArrayEntry::Kind::InverseMonge;
+        } else {
+          throw JsonError("bad_request: unknown kind \"" + kind + "\"");
+        }
+      }
+      const Json* validate = req.body.find("validate");
+      if (validate != nullptr && validate->as_bool()) {
+        bool good = true;
+        switch (entry.kind) {
+          case ArrayEntry::Kind::Monge:
+            good = monge::is_monge(entry.data);
+            break;
+          case ArrayEntry::Kind::InverseMonge:
+            good = monge::is_inverse_monge(entry.data);
+            break;
+          case ArrayEntry::Kind::Staircase: {
+            monge::StaircaseArray<monge::DenseArray<std::int64_t>> s(
+                entry.data, entry.frontier);
+            good = monge::is_staircase_monge(s);
+            break;
+          }
+        }
+        if (!good) {
+          return make_error_response(
+              req.id, std::string("not_") + entry.kind_name());
+        }
+      }
+      Json::Obj o;
+      o["array"] = registry_.add(std::move(entry));
+      return make_ok_response(req.id, Json(std::move(o)));
+    }
+
+    if (req.op == "register_random") {
+      const std::size_t rows = size_field(req.body, "rows");
+      const std::size_t cols = size_field(req.body, "cols");
+      if (rows * cols > opts_.max_register_cells) {
+        return make_error_response(req.id, "bad_request: array too large");
+      }
+      const auto seed = static_cast<std::uint64_t>(
+          req.body.find("seed") ? req.body.at("seed").as_int() : 0);
+      const std::string kind =
+          req.body.find("kind") ? req.body.at("kind").as_string() : "monge";
+      Rng rng(seed);
+      ArrayEntry entry;
+      if (kind == "monge") {
+        entry.kind = ArrayEntry::Kind::Monge;
+        entry.data = monge::random_monge(rows, cols, rng);
+      } else if (kind == "inverse_monge") {
+        entry.kind = ArrayEntry::Kind::InverseMonge;
+        entry.data = monge::random_inverse_monge(rows, cols, rng);
+      } else if (kind == "staircase") {
+        entry.kind = ArrayEntry::Kind::Staircase;
+        auto inst = monge::random_staircase_monge(rows, cols, rng);
+        entry.data = std::move(inst.base);
+        entry.frontier = std::move(inst.frontier);
+      } else {
+        throw JsonError("bad_request: unknown kind \"" + kind + "\"");
+      }
+      Json::Obj o;
+      o["array"] = registry_.add(std::move(entry));
+      return make_ok_response(req.id, Json(std::move(o)));
+    }
+
+    return make_error_response(req.id, "unknown_op: " + req.op);
+  } catch (const JsonError& e) {
+    return make_error_response(req.id, e.what());
+  } catch (const std::exception& e) {
+    return make_error_response(req.id, std::string("internal: ") + e.what());
+  }
+}
+
+Json Service::stats_json() const {
+  Json snap = metrics_.snapshot();
+  Json::Obj out = snap.obj();
+  const CacheStats cs = cache_.stats();
+  Json::Obj cache;
+  cache["enabled"] = cache_.enabled();
+  cache["hits"] = cs.hits;
+  cache["misses"] = cs.misses;
+  cache["insertions"] = cs.insertions;
+  cache["evictions"] = cs.evictions;
+  cache["entries"] = cs.entries;
+  out["cache"] = Json(std::move(cache));
+  Json::Obj queue;
+  queue["capacity"] = queue_->capacity();
+  queue["depth"] = queue_->size();
+  queue["admitted"] = queue_->admitted();
+  queue["overloaded"] = queue_->overloaded();
+  out["queue"] = Json(std::move(queue));
+  Json::Obj reg;
+  reg["arrays"] = registry_.count();
+  out["registry"] = Json(std::move(reg));
+  return Json(std::move(out));
+}
+
+}  // namespace pmonge::serve

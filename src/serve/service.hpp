@@ -1,0 +1,96 @@
+// The long-lived in-process query service: registry + admission queue +
+// batcher + sharded result cache + metrics, behind a one-line-in /
+// one-line-out NDJSON API (serve/protocol.hpp).  pmonge-serve
+// (serve/main.cpp) is the stdin/stdout front-end; tests and embedders
+// use the class directly.
+//
+// Plumbing (docs/serving.md has the full picture):
+//
+//   submit(line) --parse--> control op?  handled synchronously
+//                       \-> query op --> AdmissionQueue (bounded; full =>
+//                            immediate `overloaded` rejection)
+//   worker thread:  pop_batch(batch_max) --> expired deadlines answered
+//                   `deadline_expired` --> Batcher coalesces the rest into
+//                   engine runs --> promises fulfilled
+//
+// Determinism guarantee: the bytes of every query response depend only on
+// the request and the registered operand -- not on PMONGE_THREADS, not on
+// batching on/off, not on cache warm/cold, not on what shared the batch.
+// `stats` is the deliberate exception (it reports live counters).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "serve/admission.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace pmonge::serve {
+
+struct ServiceOptions {
+  std::size_t queue_capacity = 1024;  // admission bound
+  std::size_t batch_max = 64;         // max requests per worker batch
+  std::size_t cache_capacity = 4096;  // cached results; 0 disables
+  std::size_t cache_shards = 8;
+  bool coalesce = true;               // batching layer on/off
+  pram::Model model = pram::Model::CRCW_COMMON;
+  std::int64_t default_deadline_ms = -1;  // applied when a request has none
+  std::size_t max_register_cells = std::size_t{1} << 24;  // register guard
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts = {});
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submit one request line.  Control ops resolve before returning;
+  /// query ops resolve when the worker answers (immediately with
+  /// `overloaded` if the admission queue is full).  Thread-safe.
+  std::future<std::string> submit(std::string line);
+
+  /// Synchronous single request.
+  std::string request(const std::string& line);
+
+  /// Submit all lines, then wait; responses align with `lines`.
+  std::vector<std::string> request_batch(const std::vector<std::string>& lines);
+
+  /// Test/bench hook: hold the worker so submissions accumulate and pop
+  /// as one coalesced batch on resume().  Deadlines keep ticking.
+  void pause();
+  void resume();
+
+  const ServiceOptions& options() const { return opts_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  std::size_t queue_depth() const { return queue_->size(); }
+
+ private:
+  struct Pending {
+    Request req;
+    std::promise<std::string> promise;
+  };
+
+  std::string handle_control(const Request& req);
+  Json stats_json() const;
+  void worker_loop();
+
+  ServiceOptions opts_;
+  Registry registry_;
+  ShardedLruCache cache_;
+  ServiceMetrics metrics_;
+  Batcher batcher_;
+  std::unique_ptr<AdmissionQueue<Pending>> queue_;
+  std::thread worker_;
+};
+
+}  // namespace pmonge::serve

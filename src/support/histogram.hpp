@@ -1,0 +1,86 @@
+// Concurrency-safe counter and log-bucketed histogram primitives for the
+// serve layer's service metrics (per-endpoint request counts and latency
+// distributions).
+//
+// Both types are safe for concurrent mutation from any number of threads
+// (plain relaxed atomics -- the counters are monotone and independent, so
+// no ordering is needed), and snapshots are *consistent enough* for
+// monitoring: a snapshot taken concurrently with updates may miss in-
+// flight increments but never tears a single counter.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace pmonge::support {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t k = 1) { n_.fetch_add(k, std::memory_order_relaxed); }
+  std::uint64_t value() const { return n_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> n_{0};
+};
+
+/// Histogram over non-negative integer samples (microseconds, batch
+/// sizes, ...) with power-of-two buckets: bucket b holds samples whose
+/// bit width is b, i.e. values in [2^(b-1), 2^b).  64 buckets cover the
+/// whole uint64 range, so record() never clips.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width in [0, 64]
+
+  void record(std::uint64_t x) {
+    bucket_[std::bit_width(x)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(x, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]) of
+  /// the samples recorded so far; 0 when empty.  Resolution is a factor
+  /// of two -- that is the deal with log buckets, and it is plenty for
+  /// latency monitoring.
+  std::uint64_t quantile_bound(double q) const {
+    const std::uint64_t c = count();
+    if (c == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(c - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += bucket_[b].load(std::memory_order_relaxed);
+      if (seen > rank) {
+        return b == 0 ? 0 : (b >= 64 ? ~0ull : (1ull << b) - 1);
+      }
+    }
+    return ~0ull;  // racing updates; report the widest bound
+  }
+
+  /// Per-bucket counts (index = bit width of the samples it holds).
+  std::vector<std::uint64_t> buckets() const {
+    std::vector<std::uint64_t> out(kBuckets);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      out[b] = bucket_[b].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> bucket_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace pmonge::support

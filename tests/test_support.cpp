@@ -3,15 +3,110 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 #include <sstream>
+#include <string>
 
 #include "support/cli.hpp"
+#include "support/env.hpp"
+#include "support/histogram.hpp"
 #include "support/rng.hpp"
 #include "support/series.hpp"
 #include "support/table.hpp"
 
 namespace pmonge {
 namespace {
+
+// Scoped setenv/unsetenv so env-knob tests cannot leak into each other.
+class EnvVarGuard {
+ public:
+  EnvVarGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvVarGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(EnvUint, UnsetAndEmptyAreNullopt) {
+  EnvVarGuard unset("PMONGE_TEST_KNOB", nullptr);
+  EXPECT_FALSE(support::env_uint("PMONGE_TEST_KNOB").has_value());
+  EnvVarGuard empty("PMONGE_TEST_KNOB", "");
+  EXPECT_FALSE(support::env_uint("PMONGE_TEST_KNOB").has_value());
+}
+
+TEST(EnvUint, ParsesCleanIntegers) {
+  EnvVarGuard g("PMONGE_TEST_KNOB", "8");
+  EXPECT_EQ(support::env_uint("PMONGE_TEST_KNOB"), 8u);
+  EnvVarGuard g0("PMONGE_TEST_KNOB", "0");
+  EXPECT_EQ(support::env_uint("PMONGE_TEST_KNOB"), 0u);
+}
+
+TEST(EnvUint, MalformedThrowsQuotingTheValue) {
+  // The bug class this guards against: PMONGE_THREADS=1O (letter O)
+  // silently becoming the default and changing performance unannounced.
+  for (const char* bad : {"1O", "-1", "+3", " 4", "4 ", "3.5", "0x10", "o"}) {
+    EnvVarGuard g("PMONGE_THREADS", bad);
+    try {
+      (void)support::env_uint("PMONGE_THREADS");
+      FAIL() << "expected throw for PMONGE_THREADS=" << bad;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("PMONGE_THREADS"), std::string::npos) << what;
+      EXPECT_NE(what.find(bad), std::string::npos)
+          << "message must quote the offending string: " << what;
+    }
+  }
+}
+
+TEST(EnvUint, OutOfRangeThrows) {
+  EnvVarGuard g("PMONGE_GRAIN", "99999999999999999999999999");
+  EXPECT_THROW((void)support::env_uint("PMONGE_GRAIN"), std::invalid_argument);
+}
+
+TEST(EnvUintOr, DefaultAndClamp) {
+  EnvVarGuard unset("PMONGE_FUZZ_SEED", nullptr);
+  EXPECT_EQ(support::env_uint_or("PMONGE_FUZZ_SEED", 42), 42u);
+  EnvVarGuard zero("PMONGE_FUZZ_SEED", "0");
+  EXPECT_EQ(support::env_uint_or("PMONGE_FUZZ_SEED", 42, 1), 1u);
+  EnvVarGuard bad("PMONGE_FUZZ_SEED", "12junk");
+  EXPECT_THROW((void)support::env_uint_or("PMONGE_FUZZ_SEED", 42),
+               std::invalid_argument);
+}
+
+TEST(Histogram, CounterAndLogHistogram) {
+  support::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  support::LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_bound(0.5), 0u);
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 100u, 1000u}) h.record(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 1106u);
+  // Quantile bounds are bucket upper bounds: monotone in q and >= the
+  // true quantile.
+  EXPECT_LE(h.quantile_bound(0.5), h.quantile_bound(0.99));
+  EXPECT_GE(h.quantile_bound(1.0), 1000u);
+}
 
 TEST(CeilLg, SmallValues) {
   EXPECT_EQ(ceil_lg(1), 0);
