@@ -1,0 +1,125 @@
+// Planner bench: the same single-row query stream answered with the
+// adaptive planner on (per-shape algorithm selection) and off (the old
+// fixed parallel dispatch), swept over operand sizes that cross the
+// brute -> sequential -> parallel crossovers.
+//
+// The acceptance bar for the planner: at small n -- where the parallel
+// kernel's pool-dispatch constant dominates and the planner routes to a
+// brute or sequential variant -- the planned run must be no slower than
+// the fixed dispatch.  (At large n both run the same parallel kernel,
+// so the ratio tends to 1.)
+//
+//   --max N             largest operand side          (default 512)
+//   --queries N         stream length per size        (default 256)
+//   --reps N            median-of-N repetitions       (default 5)
+//   --warmup N          throwaway runs per config     (default 1)
+//   --json[=PATH]       machine-readable records      (BENCH_plan.json)
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exec/thread_pool.hpp"
+#include "plan/planner.hpp"
+#include "serve/service.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using pmonge::serve::Service;
+using pmonge::serve::ServiceOptions;
+
+std::vector<std::string> make_stream(std::size_t rows, std::size_t queries) {
+  std::vector<std::string> qs;
+  qs.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    qs.push_back("{\"op\":\"rowmin\",\"array\":0,\"id\":" + std::to_string(i) +
+                 ",\"row\":" + std::to_string(i % rows) + "}");
+  }
+  return qs;
+}
+
+double run_stream(Service& svc, const std::vector<std::string>& stream) {
+  svc.pause();
+  std::vector<std::future<std::string>> futs;
+  futs.reserve(stream.size());
+  for (const auto& q : stream) futs.push_back(svc.submit(q));
+  const auto t0 = std::chrono::steady_clock::now();
+  svc.resume();
+  for (auto& f : futs) f.get();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmonge::Cli cli(argc, argv);
+  const auto max_n = static_cast<std::size_t>(cli.get_int("max", 512));
+  const auto queries = static_cast<std::size_t>(cli.get_int("queries", 256));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+  const auto warmup = static_cast<std::size_t>(cli.get_int("warmup", 1));
+  auto records =
+      pmonge::bench::JsonRecords::from_cli(cli, "plan", "BENCH_plan.json");
+
+  pmonge::bench::print_header("planner vs fixed dispatch: rowmin stream");
+  pmonge::Table table({"n", "queries", "planner ms", "algo", "fixed ms",
+                       "planned/fixed"});
+  const pmonge::plan::Planner planner(pmonge::plan::builtin_profile(), true,
+                                      pmonge::exec::num_threads());
+  bool small_n_regression = false;
+  for (const std::size_t n : pmonge::bench::pow2_sweep(8, max_n)) {
+    const std::string reg = "{\"op\":\"register_random\",\"rows\":" +
+                            std::to_string(n) + ",\"cols\":" +
+                            std::to_string(n) + ",\"seed\":7}";
+    const auto stream = make_stream(n, queries);
+    double ms[2] = {0, 0};
+    for (int planned = 0; planned < 2; ++planned) {
+      ServiceOptions opts;
+      opts.planner = planned == 1;
+      opts.cache_capacity = 0;  // measure computation, not memoization
+      opts.queue_capacity = queries + 16;
+      Service svc(opts);
+      svc.request(reg);
+      ms[planned] = pmonge::bench::timed_median(
+                        [&] { run_stream(svc, stream); }, warmup, reps)
+                        .median_ms;
+    }
+    // What the planner picks for this shape at the coalesced batch size.
+    const pmonge::plan::Plan pl = planner.plan(
+        {pmonge::plan::OpClass::RowSearch, n, n,
+         std::min<std::size_t>(queries, ServiceOptions{}.batch_max)});
+    const double ratio = ms[1] / ms[0];
+    const bool small = pl.algo != pmonge::plan::Algo::Parallel;
+    // Planned "no slower" with measurement-noise slack.
+    if (small && ratio > 1.15) small_n_regression = true;
+    table.add_row({pmonge::Table::num(n), pmonge::Table::num(queries),
+                   pmonge::Table::fixed(ms[1], 2),
+                   pmonge::plan::algo_name(pl.algo),
+                   pmonge::Table::fixed(ms[0], 2),
+                   pmonge::Table::fixed(ratio, 3)});
+    for (int planned = 0; planned < 2; ++planned) {
+      pmonge::serve::Json::Obj r;
+      r["op"] = "rowmin";
+      r["rows"] = n;
+      r["cols"] = n;
+      r["batch"] = queries;
+      r["config"] = planned ? "planner" : "fixed";
+      r["algo"] = planned ? pmonge::plan::algo_name(pl.algo) : "parallel";
+      r["median_us"] = ms[planned] * 1000.0;
+      r["predicted_us"] = planned ? pl.predicted_us : -1.0;
+      r["profile"] = planner.profile().id;
+      records.add(std::move(r));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "planned/fixed <= 1 expected wherever algo != parallel; "
+            << (small_n_regression ? "REGRESSION: planner slower at small n"
+                                   : "planner no slower at small n")
+            << "\n";
+  records.write();
+  return small_n_regression ? 1 : 0;
+}

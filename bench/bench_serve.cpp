@@ -12,6 +12,7 @@
 //   --queries N         stream length               (default 512)
 //   --reps N            median-of-N repetitions     (default 5)
 //   --warmup N          throwaway runs per config   (default 1)
+//   --json[=PATH]       machine-readable records    (BENCH_serve.json)
 #include <cstdint>
 #include <future>
 #include <iostream>
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
   const auto queries = static_cast<std::size_t>(cli.get_int("queries", 512));
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 5));
   const auto warmup = static_cast<std::size_t>(cli.get_int("warmup", 1));
+  auto records =
+      pmonge::bench::JsonRecords::from_cli(cli, "serve", "BENCH_serve.json");
 
   pmonge::bench::print_header("serve throughput: batched vs unbatched");
   const std::string reg = "{\"op\":\"register_random\",\"rows\":" +
@@ -105,8 +108,18 @@ int main(int argc, char** argv) {
                        0),
                    pmonge::Table::fixed(stats.min_ms, 2),
                    pmonge::Table::fixed(stats.max_ms, 2)});
+    pmonge::serve::Json::Obj r;
+    r["op"] = "rowmin";
+    r["rows"] = rows;
+    r["cols"] = cols;
+    r["batch"] = queries;
+    r["config"] = c.name;
+    r["median_us"] = stats.median_ms * 1000.0;
+    r["profile"] = opts.profile.id;
+    records.add(std::move(r));
   }
   table.print(std::cout);
+  records.write();
   std::cout << "batched/unbatched median: "
             << pmonge::Table::fixed(batched_ms / unbatched_ms, 3)
             << " (<= 1.0 means batching wins)\n";

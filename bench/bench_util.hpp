@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
+#include "serve/json.hpp"
 #include "support/cli.hpp"
 #include "support/series.hpp"
 #include "support/table.hpp"
@@ -76,5 +79,64 @@ inline std::string shape_cell(const std::vector<SeriesPoint>& pts,
 inline void print_header(const std::string& title) {
   std::cout << "\n==== " << title << " ====\n";
 }
+
+// ---------------------------------------------------------------------------
+// --json: machine-readable result records
+// ---------------------------------------------------------------------------
+
+/// Accumulates one canonical-JSON record per measured configuration and
+/// writes them as a JSON array, so CI and the analysis notebooks can
+/// diff bench results across commits without scraping tables.
+///
+///   --json            write to the bench's default path (BENCH_<x>.json)
+///   --json=PATH       write to PATH
+///
+/// Disabled (the default) it is a no-op; the human tables always print.
+class JsonRecords {
+ public:
+  /// `bench` stamps every record; `path` empty disables.
+  JsonRecords(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  /// Resolve the path from `--json[=PATH]`; empty (disabled) without it.
+  static JsonRecords from_cli(const Cli& cli, const std::string& bench,
+                              const std::string& default_path) {
+    if (!cli.has("json")) return JsonRecords(bench, "");
+    const std::string v = cli.get("json", "1");
+    return JsonRecords(bench, v == "1" ? default_path : v);
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Append one record; the "bench" field is stamped automatically.
+  void add(serve::Json::Obj fields) {
+    if (!enabled()) return;
+    fields["bench"] = serve::Json(bench_);
+    records_.emplace_back(std::move(fields));
+  }
+
+  /// Write the array (canonical bytes, one record per line) and say so.
+  void write() {
+    if (!enabled()) return;
+    std::ofstream out(path_);
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << records_[i].dump() << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    out.flush();
+    if (out) {
+      std::cout << "wrote " << records_.size() << " records to " << path_
+                << "\n";
+    } else {
+      std::cerr << "error: cannot write " << path_ << "\n";
+    }
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<serve::Json> records_;
+};
 
 }  // namespace pmonge::bench

@@ -37,7 +37,8 @@ namespace pmonge::exec {
 /// cost is roughly `cost_hint` unit operations.  Independent of the
 /// thread count by design (see header comment).
 inline std::size_t grain_for(std::size_t cost_hint = 1) {
-  const std::size_t g = default_grain();
+  const std::size_t o = grain_override();
+  const std::size_t g = o != 0 ? o : default_grain();
   const std::size_t h = cost_hint == 0 ? 1 : cost_hint;
   const std::size_t grain = g / h;
   return grain == 0 ? 1 : grain;
@@ -50,10 +51,13 @@ inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
 }
 
 /// Serial execution is the right call when there is nothing to split,
-/// no one to split it for, or the call sits so deep in the fork tree
-/// that the outer levels already saturate the pool.
+/// no one to split it for, the call sits so deep in the fork tree that
+/// the outer levels already saturate the pool, or an enclosing
+/// SerialScope declared the whole computation too small to be worth
+/// submitting.
 inline bool run_serially(std::size_t nchunks) {
-  return nchunks <= 1 || num_threads() <= 1 || nest_depth() >= kMaxForkDepth;
+  return nchunks <= 1 || num_threads() <= 1 ||
+         nest_depth() >= kMaxForkDepth || serial_scope_depth() > 0;
 }
 
 }  // namespace detail

@@ -10,9 +10,23 @@ using detail::Batch;
 
 namespace {
 thread_local std::size_t t_nest_depth = 0;
+thread_local std::size_t t_serial_depth = 0;
+thread_local std::size_t t_grain_override = 0;
 }  // namespace
 
 std::size_t nest_depth() { return t_nest_depth; }
+
+std::size_t serial_scope_depth() { return t_serial_depth; }
+
+SerialScope::SerialScope() { ++t_serial_depth; }
+SerialScope::~SerialScope() { --t_serial_depth; }
+
+std::size_t grain_override() { return t_grain_override; }
+
+GrainScope::GrainScope(std::size_t grain) : saved_(t_grain_override) {
+  t_grain_override = grain;
+}
+GrainScope::~GrainScope() { t_grain_override = saved_; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t want = threads == 0 ? 1 : threads;

@@ -125,4 +125,45 @@ std::size_t default_grain();
 std::size_t nest_depth();
 inline constexpr std::size_t kMaxForkDepth = 4;
 
+/// Depth of SerialScope nesting on the calling thread (0 = none active).
+std::size_t serial_scope_depth();
+
+/// RAII: while alive on this thread, every data-parallel skeleton runs
+/// its chunks in place on the calling thread instead of submitting to
+/// the pool.  Execution strategy only -- results and charged costs are
+/// identical either way (the chunk decomposition never changes) -- but
+/// tiny computations skip the submission overhead entirely.  This is the
+/// small-input fast path the execution planner (src/plan) selects; the
+/// par/ kernels also apply it below their own serial cutoff.  Nests.
+class SerialScope {
+ public:
+  SerialScope();
+  ~SerialScope();
+  SerialScope(const SerialScope&) = delete;
+  SerialScope& operator=(const SerialScope&) = delete;
+};
+
+/// Grain override active on the calling thread (0 = none; use
+/// default_grain()).
+std::size_t grain_override();
+
+/// RAII: while alive on this thread, grain_for() bases chunk sizes on
+/// `grain` instead of default_grain().  The override applies to
+/// decompositions performed on this thread (nested decompositions that
+/// pool workers perform on the caller's behalf keep the default).  Grain
+/// never changes results: chunk combination is serial in chunk order and
+/// every combiner the library uses is exactly associative.  Plans from
+/// src/plan carry the hint; 0 restores the default.  Nests (restores the
+/// previous override on destruction).
+class GrainScope {
+ public:
+  explicit GrainScope(std::size_t grain);
+  ~GrainScope();
+  GrainScope(const GrainScope&) = delete;
+  GrainScope& operator=(const GrainScope&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
 }  // namespace pmonge::exec

@@ -32,9 +32,11 @@
 // simulated machine already required; `eval` must be a pure read.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "monge/array.hpp"
 #include "pram/machine.hpp"
 #include "pram/primitives.hpp"
@@ -46,7 +48,28 @@ using monge::Array2D;
 using monge::kNoCol;
 using monge::RowOpt;
 
+/// Small-input serial cutoff shared by the par/ entry points (and read by
+/// the execution planner, src/plan): below this many cells the whole
+/// search runs under an exec::SerialScope -- identical decomposition,
+/// identical results and charged costs, but no pool submissions, because
+/// at this size the dispatch overhead dwarfs the work.
+inline constexpr std::size_t kSerialCutoffCells = 4096;
+
 namespace detail {
+
+/// SerialScope for searches the cutoff declares too small to farm out.
+/// RowOpt results and meter charges are unchanged by construction (the
+/// engine never influences either); only the execution strategy differs.
+class MaybeSerial {
+ public:
+  explicit MaybeSerial(std::size_t cells)
+      : scope_(cells <= kSerialCutoffCells
+                   ? std::make_unique<exec::SerialScope>()
+                   : nullptr) {}
+
+ private:
+  std::unique_ptr<exec::SerialScope> scope_;
+};
 
 /// Ranged argopt over columns [lo, hi] of one row, with tie policy.
 template <bool PreferLeft, class T, class EvalF>
@@ -173,6 +196,7 @@ std::vector<RowOpt<T>> rowmin_entry(pram::Machine& mach, std::size_t m,
                                     std::size_t n, const EvalF& eval) {
   std::vector<RowOpt<T>> empty_out(m, RowOpt<T>{monge::inf<T>(), kNoCol});
   if (m == 0 || n == 0) return empty_out;
+  MaybeSerial serial(m * n);
   std::vector<std::size_t> rows(m);
   for (std::size_t i = 0; i < m; ++i) rows[i] = i;
   return rowmin_rec<PreferLeft, T>(mach, eval, rows, 0, n - 1);
@@ -196,6 +220,7 @@ std::vector<RowOpt<T>> rowmin_rows_entry(pram::Machine& mach,
     return std::vector<RowOpt<T>>(rows.size(),
                                   RowOpt<T>{monge::inf<T>(), kNoCol});
   }
+  MaybeSerial serial(rows.size() * n);
   return rowmin_rec<PreferLeft, T>(mach, eval, rows, 0, n - 1);
 }
 

@@ -256,6 +256,7 @@ template <monge::Array2D A>
 std::vector<RowOpt<typename A::value_type>> staircase_row_minima(
     pram::Machine& mach, const monge::StaircaseArray<A>& s,
     StaircaseSchedule sched = StaircaseSchedule::MaxParallel) {
+  detail::MaybeSerial serial(s.rows() * s.cols());
   return detail::staircase_opt<true>(mach, s, sched);
 }
 
@@ -265,6 +266,7 @@ template <monge::Array2D A>
 std::vector<RowOpt<typename A::value_type>> staircase_row_maxima(
     pram::Machine& mach, const monge::StaircaseArray<A>& s,
     StaircaseSchedule sched = StaircaseSchedule::MaxParallel) {
+  detail::MaybeSerial serial(s.rows() * s.cols());
   return detail::staircase_opt<false>(mach, s, sched);
 }
 
@@ -320,6 +322,7 @@ std::vector<RowOpt<typename A::value_type>> staircase_rows_entry(
     PMONGE_REQUIRE(i == 0 || rows[i - 1] < rows[i],
                    "batched row queries must be strictly increasing");
   }
+  MaybeSerial serial(rows.size() * s.cols());
   monge::RowSelect<A> sel(s.base(),
                           std::vector<std::size_t>(rows.begin(), rows.end()));
   std::vector<std::size_t> frontier;

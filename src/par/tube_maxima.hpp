@@ -214,6 +214,7 @@ std::vector<TubeOpt<typename D::value_type>> tube_points_impl(
     PMONGE_REQUIRE(tq.i < p && tq.k < r, "tube query out of range");
   }
   std::vector<TubeOpt<T>> out(qs.size());
+  MaybeSerial serial(qs.size() * q);
   std::map<std::size_t, std::vector<std::size_t>> by_k;  // k -> query idxs
   for (std::size_t t = 0; t < qs.size(); ++t) by_k[qs[t].k].push_back(t);
   std::vector<std::pair<std::size_t, std::vector<std::size_t>>> groups(

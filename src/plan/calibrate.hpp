@@ -1,0 +1,48 @@
+// Calibration: fit the CostProfile constants to this machine.
+//
+// The cost model's *shapes* come from the paper; the *constants* are
+// machine facts (cache behavior, pool dispatch latency, simulator
+// overhead).  calibrate() measures them with short microbenchmarks --
+// a tight brute scan, a SMAWK run, a sequential edit DP, and two
+// parallel row-minima runs whose charged work the meter reports (the
+// two-point fit recovers ns-per-work and the dispatch constant) -- and
+// returns a profile stamped with the machine's thread count.
+//
+// Profiles persist as JSON ({"format":"pmonge-profile-v1", ...}) and
+// load via `pmonge-serve --profile PATH` or PMONGE_PROFILE.  Loading
+// fails loudly -- std::runtime_error quoting the offending path --
+// on a missing file, unparseable JSON, a wrong format tag, or a
+// non-positive constant, matching the env-knob convention of
+// support/env.hpp.  Planning never *requires* a profile: the built-in
+// default (plan/cost_model.hpp) is deterministic and always available,
+// and responses are bit-identical under every profile regardless.
+#pragma once
+
+#include <string>
+
+#include "plan/cost_model.hpp"
+
+namespace pmonge::plan {
+
+/// Run the microbenchmark pass and return a fitted profile (id
+/// "calibrated-v1-<threads>t").  Takes a fraction of a second; intended
+/// for `pmonge-serve --calibrate PATH`, not per-request use.
+CostProfile calibrate();
+
+/// Serialize `prof` as canonical profile JSON (one line).
+std::string profile_to_json(const CostProfile& prof);
+
+/// Parse profile JSON; throws std::runtime_error (message mentions
+/// `origin`, e.g. a path) on bad format or non-positive constants.
+CostProfile profile_from_json(const std::string& text,
+                              const std::string& origin);
+
+/// Write `prof` to `path`; throws std::runtime_error quoting the path on
+/// I/O failure.
+void save_profile(const CostProfile& prof, const std::string& path);
+
+/// Load a profile from `path`; throws std::runtime_error quoting the
+/// path when the file is missing, unreadable, or invalid.
+CostProfile load_profile(const std::string& path);
+
+}  // namespace pmonge::plan

@@ -1,0 +1,169 @@
+// Analytic cost model for the execution planner (src/plan).
+//
+// Every query the serve layer answers has several interchangeable
+// routes to the same bytes: a brute-force scan of exactly the queried
+// cells, the sequential O(m+n)-probe SMAWK solver (monge/smawk.hpp,
+// monge/staircase_seq.hpp), or the paper's parallel kernels (src/par)
+// on the simulated PRAM over the host engine.  The planner picks the
+// cheapest by evaluating, per variant, an analytic wall-time prediction
+// whose *shape* comes from the paper's bounds --
+//
+//   brute       c_cell * (queried cells)                      (n^2-ish)
+//   sequential  c_probe * (m + n)                             ([AKM+87])
+//   parallel    c_spawn + c_depth * lg n lglg n
+//                       + c_work * W / T                      (Lemma 2.1 /
+//                                                              Thm 2.3 work,
+//                                                              Brent on T
+//                                                              host lanes)
+//
+// -- and whose *constants* come from a CostProfile: either the
+// deterministic built-in defaults below or a machine profile fitted by
+// plan/calibrate and loaded from JSON (`--profile` / PMONGE_PROFILE).
+// Predictions steer execution strategy and admission only; they never
+// change response bytes (every variant returns the leftmost optimum).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pmonge::plan {
+
+/// Which family of query a shape describes; fixes which cost formulas
+/// apply.  Staircase row searches share RowSearch (the sequential
+/// staircase solver's probe count is also O(m + n)).
+enum class OpClass : std::uint8_t {
+  RowSearch,     // rowmin/rowmax/staircase_*: operand m x n, b queried rows
+  TubeSearch,    // tubemax/tubemin: rows = p, cols = q (middle), b points
+  EditDistance,  // string_edit: rows = |x|, cols = |y|, b jobs
+  GeometricApp,  // largest_rect / empty_rect / polygon_neighbors: rows =
+                 // points, b instances (no sequential twin: always parallel)
+};
+
+inline const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::RowSearch: return "row_search";
+    case OpClass::TubeSearch: return "tube_search";
+    case OpClass::EditDistance: return "edit_distance";
+    case OpClass::GeometricApp: return "geometric_app";
+  }
+  return "?";
+}
+
+/// Algorithm variant a plan selects.
+enum class Algo : std::uint8_t {
+  Brute,       // scan exactly the queried cells
+  Sequential,  // SMAWK / sequential staircase solver / sequential DP
+  Parallel,    // the paper's parallel kernel on the exec engine
+};
+
+inline const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::Brute: return "brute";
+    case Algo::Sequential: return "sequential";
+    case Algo::Parallel: return "parallel";
+  }
+  return "?";
+}
+
+/// What a query touches, in the units OpClass defines.  batch is the
+/// number of coalesced queries sharing the run (>= 1).
+struct QueryShape {
+  OpClass op = OpClass::RowSearch;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t batch = 1;
+};
+
+/// Per-machine constants (nanoseconds).  The built-in profile is a
+/// deterministic compile-time default, so planner behavior -- and
+/// therefore every test -- never depends on having run calibration.
+struct CostProfile {
+  std::string id = "builtin-v1";
+  double brute_ns_per_cell = 1.5;   // one entry probe in a tight scan
+  double seq_ns_per_probe = 6.0;    // one SMAWK probe (view composition)
+  double edit_ns_per_cell = 3.0;    // one DP cell of the edit recurrence
+  double par_ns_per_work = 4.0;     // one unit of charged PRAM work
+  double par_dispatch_ns = 20000;   // entering the pool (submission+sync)
+  double par_depth_ns = 250;        // one charged parallel step (barrier)
+};
+
+/// The deterministic built-in profile (the CostProfile defaults).
+inline CostProfile builtin_profile() { return CostProfile{}; }
+
+namespace detail {
+
+inline double lg2(double x) {
+  double l = 0;
+  while (x > 1) {
+    x /= 2;
+    ++l;
+  }
+  return l < 1 ? 1 : l;
+}
+
+}  // namespace detail
+
+/// Predicted wall nanoseconds for running `shape` with `algo` under
+/// `prof` on `threads` execution lanes.  Monotone (non-decreasing) in
+/// rows, cols and batch for every variant, so the min over variants is
+/// monotone too.
+inline double predicted_ns(const CostProfile& prof, Algo algo,
+                           const QueryShape& shape, std::size_t threads) {
+  const double m = static_cast<double>(shape.rows);
+  const double n = static_cast<double>(shape.cols);
+  const double b = static_cast<double>(shape.batch == 0 ? 1 : shape.batch);
+  const double t = static_cast<double>(threads == 0 ? 1 : threads);
+  const double lgn = detail::lg2(n + 2);
+  const double lglgn = detail::lg2(lgn + 2);
+
+  switch (shape.op) {
+    case OpClass::RowSearch:
+      switch (algo) {
+        case Algo::Brute:  // scan the b queried rows, n cells each
+          return prof.brute_ns_per_cell * b * n;
+        case Algo::Sequential:  // SMAWK over the whole operand + read-off
+          return prof.seq_ns_per_probe * (m + n) + prof.brute_ns_per_cell * b;
+        case Algo::Parallel: {  // Lemma 2.1 work (b+n) lg n, depth lg n lglg n
+          const double work = (b + n) * lgn;
+          return prof.par_dispatch_ns + prof.par_depth_ns * lgn * lglgn +
+                 prof.par_ns_per_work * work / t;
+        }
+      }
+      break;
+    case OpClass::TubeSearch:
+      switch (algo) {
+        case Algo::Brute:
+        case Algo::Sequential:  // scan the q middle indices per point
+          return prof.brute_ns_per_cell * b * n;
+        case Algo::Parallel: {  // sampled/bracketed search over the points
+          const double work = (b + n) * lgn;
+          return prof.par_dispatch_ns + prof.par_depth_ns * lgn * lglgn +
+                 prof.par_ns_per_work * work / t;
+        }
+      }
+      break;
+    case OpClass::EditDistance:
+      switch (algo) {
+        case Algo::Brute:
+        case Algo::Sequential:  // the classic DP fills every cell once
+          return prof.edit_ns_per_cell * b * (m + 1) * (n + 1);
+        case Algo::Parallel: {  // DIST-matrix composition: same cells, Brent
+          const double work = b * (m + 1) * (n + 1);
+          return prof.par_dispatch_ns + prof.par_depth_ns * (m + n + 2) +
+                 prof.par_ns_per_work * work / t;
+        }
+      }
+      break;
+    case OpClass::GeometricApp:
+      // No sequential twin is wired; all variants price the parallel run
+      // (n lg n per instance) so the choice degenerates to Parallel.
+      {
+        const double work = b * (m + 2) * detail::lg2(m + 2);
+        return prof.par_dispatch_ns + prof.par_ns_per_work * work / t;
+      }
+  }
+  return 0;
+}
+
+}  // namespace pmonge::plan

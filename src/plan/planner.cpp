@@ -1,0 +1,73 @@
+#include "plan/planner.hpp"
+
+#include <algorithm>
+
+namespace pmonge::plan {
+
+Planner::Planner(CostProfile profile, bool enabled, std::size_t threads)
+    : profile_(std::move(profile)),
+      enabled_(enabled),
+      threads_(threads == 0 ? 1 : threads),
+      cache_(std::make_unique<PlanCache>()) {}
+
+Plan Planner::plan(const QueryShape& shape) const {
+  if (!enabled_) {
+    // Fixed dispatch: the pre-planner behavior, still priced so the
+    // explain op and admission control stay meaningful.
+    Plan p;
+    p.algo = Algo::Parallel;
+    p.grain = 0;
+    p.rep = shape;
+    p.predicted_us =
+        predicted_ns(profile_, Algo::Parallel, shape, threads_) / 1000.0;
+    return p;
+  }
+  return cache_->get_or_plan(shape,
+                             [this](const QueryShape& rep) { return plan_at(rep); });
+}
+
+Plan Planner::plan_at(const QueryShape& rep) const {
+  Plan p;
+  p.rep = rep;
+
+  if (rep.op == OpClass::GeometricApp) {
+    // Only the parallel pipeline is wired for the geometric apps.
+    p.algo = Algo::Parallel;
+  } else {
+    const double brute = predicted_ns(profile_, Algo::Brute, rep, threads_);
+    const double seq = predicted_ns(profile_, Algo::Sequential, rep, threads_);
+    const double par = predicted_ns(profile_, Algo::Parallel, rep, threads_);
+    // Ties break toward the simpler variant: brute beats sequential
+    // beats parallel at equal predicted cost.  The order of comparison
+    // is fixed so the plan is a deterministic function of (profile,
+    // shape class, threads).
+    p.algo = Algo::Brute;
+    double best = brute;
+    if (seq < best) {
+      p.algo = Algo::Sequential;
+      best = seq;
+    }
+    if (par < best) {
+      p.algo = Algo::Parallel;
+      best = par;
+    }
+  }
+
+  p.predicted_us = predicted_ns(profile_, p.algo, rep, threads_) / 1000.0;
+
+  if (p.algo == Algo::Parallel) {
+    // Grain hint: a chunk should amortize the dispatch cost, i.e. hold
+    // roughly par_dispatch_ns / par_ns_per_work unit operations.
+    // Clamped to a sane band; 0 would mean "engine default".
+    const double per = profile_.par_ns_per_work > 0 ? profile_.par_ns_per_work
+                                                    : 1.0;
+    const double g = profile_.par_dispatch_ns / per;
+    p.grain = static_cast<std::size_t>(
+        std::clamp(g, 64.0, 65536.0));
+  } else {
+    p.grain = 0;
+  }
+  return p;
+}
+
+}  // namespace pmonge::plan

@@ -1,0 +1,53 @@
+// The execution planner: per-query algorithm selection.
+//
+// Given what a query touches (a QueryShape), the Planner evaluates the
+// cost model for every admissible variant and returns the cheapest as a
+// Plan {algo, grain hint, predicted cost}.  The serve batcher executes
+// the group with the plan's algorithm (all variants produce the same
+// leftmost-optimum bytes); Service::submit uses predicted_us to reject
+// requests whose deadline is unmeetable before they enter the engine.
+//
+// A disabled planner (--no-plan) always answers {Parallel, grain 0} --
+// exactly the pre-planner fixed dispatch -- which is what the
+// bit-identity tests compare against.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "plan/cost_model.hpp"
+#include "plan/plan_cache.hpp"
+
+namespace pmonge::plan {
+
+class Planner {
+ public:
+  /// threads = execution lanes the parallel variant may assume
+  /// (exec::num_threads() of the serving process).
+  Planner(CostProfile profile, bool enabled, std::size_t threads);
+
+  /// The chosen plan for shape's class (memoized; see plan_cache.hpp).
+  Plan plan(const QueryShape& shape) const;
+
+  /// Predicted wall microseconds for running `shape` its chosen way --
+  /// the admission-control number.
+  double predicted_us(const QueryShape& shape) const {
+    return plan(shape).predicted_us;
+  }
+
+  bool enabled() const { return enabled_; }
+  const CostProfile& profile() const { return profile_; }
+  std::size_t threads() const { return threads_; }
+  PlanCache::Stats cache_stats() const { return cache_->stats(); }
+  void clear_cache() const { cache_->clear(); }
+
+ private:
+  Plan plan_at(const QueryShape& rep) const;
+
+  CostProfile profile_;
+  bool enabled_;
+  std::size_t threads_;
+  std::unique_ptr<PlanCache> cache_;
+};
+
+}  // namespace pmonge::plan

@@ -1,6 +1,7 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <utility>
@@ -11,22 +12,27 @@
 #include "apps/string_edit.hpp"
 #include "exec/parallel.hpp"
 #include "geom/geometry.hpp"
+#include "monge/staircase_seq.hpp"
 #include "par/monge_rowminima.hpp"
 #include "par/staircase_rowminima.hpp"
 #include "par/tube_maxima.hpp"
 
 namespace pmonge::serve {
 
+using Member = detail::BatchMember;
+
 namespace {
 
 using monge::kNoCol;
 using monge::RowOpt;
 
-/// A request slot inside one coalesced group.
-struct Member {
-  const Request* req;
-  BatchOutcome* out;
-};
+void count_plan(ServiceMetrics& metrics, plan::Algo algo) {
+  switch (algo) {
+    case plan::Algo::Brute: metrics.plans_brute().add(); break;
+    case plan::Algo::Sequential: metrics.plans_sequential().add(); break;
+    case plan::Algo::Parallel: metrics.plans_parallel().add(); break;
+  }
+}
 
 void set_error(BatchOutcome& out, std::string why) {
   out.ok = false;
@@ -107,7 +113,8 @@ std::shared_ptr<const ArrayEntry> resolve(Registry& reg, const Json& body,
 
 void run_row_group(std::vector<Member>& members,
                    const std::shared_ptr<const ArrayEntry>& entry, bool maxima,
-                   pram::Model model, ServiceMetrics& metrics) {
+                   pram::Model model, ServiceMetrics& metrics,
+                   const plan::Plan& pl) {
   if (entry->kind == ArrayEntry::Kind::Staircase) {
     fail_unanswered(members, "wrong_kind: array is staircase; use "
                              "staircase_rowmin / staircase_rowmax");
@@ -129,20 +136,49 @@ void run_row_group(std::vector<Member>& members,
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
 
-  pram::Machine mach(model);
+  // Every variant below returns the *leftmost* optimum of each queried
+  // row, so the plan choice never shows in the response bytes.
   const bool inverse = entry->kind == ArrayEntry::Kind::InverseMonge;
+  const auto& a = entry->data;
   std::vector<RowOpt<std::int64_t>> res;
-  if (!inverse && !maxima) {
-    res = par::monge_row_minima_rows(mach, entry->data, rows);
-  } else if (!inverse && maxima) {
-    res = par::monge_row_maxima_rows(mach, entry->data, rows);
-  } else if (inverse && !maxima) {
-    res = par::inverse_monge_row_minima_rows(mach, entry->data, rows);
+  if (pl.algo == plan::Algo::Brute) {
+    res.reserve(rows.size());
+    for (const std::size_t r : rows) {
+      RowOpt<std::int64_t> best{a(r, 0), 0};
+      for (std::size_t j = 1; j < a.cols(); ++j) {
+        const std::int64_t v = a(r, j);
+        if (maxima ? v > best.value : v < best.value) best = {v, j};
+      }
+      res.push_back(best);
+    }
+  } else if (pl.algo == plan::Algo::Sequential) {
+    std::vector<RowOpt<std::int64_t>> all;
+    if (!inverse && !maxima) {
+      all = monge::smawk_row_minima(a);
+    } else if (!inverse && maxima) {
+      all = monge::smawk_row_maxima_monge(a);
+    } else if (inverse && !maxima) {
+      all = monge::smawk_row_minima_inverse_monge(a);
+    } else {
+      all = monge::smawk_row_maxima_inverse_monge(a);
+    }
+    res.reserve(rows.size());
+    for (const std::size_t r : rows) res.push_back(all[r]);
   } else {
-    res = par::inverse_monge_row_maxima_rows(mach, entry->data, rows);
+    pram::Machine mach(model);
+    exec::GrainScope grain(pl.grain);
+    if (!inverse && !maxima) {
+      res = par::monge_row_minima_rows(mach, a, rows);
+    } else if (!inverse && maxima) {
+      res = par::monge_row_maxima_rows(mach, a, rows);
+    } else if (inverse && !maxima) {
+      res = par::inverse_monge_row_minima_rows(mach, a, rows);
+    } else {
+      res = par::inverse_monge_row_maxima_rows(mach, a, rows);
+    }
+    metrics.charged_time().add(mach.meter().time);
+    metrics.charged_work().add(mach.meter().work);
   }
-  metrics.charged_time().add(mach.meter().time);
-  metrics.charged_work().add(mach.meter().work);
   for (auto& [row, m] : live) {
     const auto it = std::lower_bound(rows.begin(), rows.end(), row);
     set_ok(*m->out, rowopt_result(res[static_cast<std::size_t>(
@@ -153,7 +189,7 @@ void run_row_group(std::vector<Member>& members,
 void run_staircase_group(std::vector<Member>& members,
                          const std::shared_ptr<const ArrayEntry>& entry,
                          bool maxima, pram::Model model,
-                         ServiceMetrics& metrics) {
+                         ServiceMetrics& metrics, const plan::Plan& pl) {
   if (entry->kind != ArrayEntry::Kind::Staircase) {
     fail_unanswered(members, "wrong_kind: array is not staircase");
     return;
@@ -174,13 +210,36 @@ void run_staircase_group(std::vector<Member>& members,
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
 
-  pram::Machine mach(model);
   monge::StaircaseArray<monge::DenseArray<std::int64_t>> s(entry->data,
                                                            entry->frontier);
-  auto res = maxima ? par::staircase_row_maxima_rows(mach, s, rows)
-                    : par::staircase_row_minima_rows(mach, s, rows);
-  metrics.charged_time().add(mach.meter().time);
-  metrics.charged_work().add(mach.meter().work);
+  std::vector<RowOpt<std::int64_t>> res;
+  if (pl.algo == plan::Algo::Brute) {
+    // Leftmost optimum over each queried row's finite prefix.
+    res.reserve(rows.size());
+    for (const std::size_t r : rows) {
+      const std::size_t width = s.frontier(r);
+      RowOpt<std::int64_t> best{0, kNoCol};
+      for (std::size_t j = 0; j < width; ++j) {
+        const std::int64_t v = entry->data(r, j);
+        if (best.col == kNoCol || (maxima ? v > best.value : v < best.value)) {
+          best = {v, j};
+        }
+      }
+      res.push_back(best);
+    }
+  } else if (pl.algo == plan::Algo::Sequential) {
+    auto all = maxima ? monge::staircase_row_maxima_seq(s)
+                      : monge::staircase_row_minima_seq(s);
+    res.reserve(rows.size());
+    for (const std::size_t r : rows) res.push_back(all[r]);
+  } else {
+    pram::Machine mach(model);
+    exec::GrainScope grain(pl.grain);
+    res = maxima ? par::staircase_row_maxima_rows(mach, s, rows)
+                 : par::staircase_row_minima_rows(mach, s, rows);
+    metrics.charged_time().add(mach.meter().time);
+    metrics.charged_work().add(mach.meter().work);
+  }
   for (auto& [row, m] : live) {
     const auto it = std::lower_bound(rows.begin(), rows.end(), row);
     set_ok(*m->out, rowopt_result(res[static_cast<std::size_t>(
@@ -191,7 +250,8 @@ void run_staircase_group(std::vector<Member>& members,
 void run_tube_group(std::vector<Member>& members,
                     const std::shared_ptr<const ArrayEntry>& d,
                     const std::shared_ptr<const ArrayEntry>& e, bool maxima,
-                    pram::Model model, ServiceMetrics& metrics) {
+                    pram::Model model, ServiceMetrics& metrics,
+                    const plan::Plan& pl) {
   if (d->kind != ArrayEntry::Kind::Monge ||
       e->kind != ArrayEntry::Kind::Monge) {
     fail_unanswered(members, "wrong_kind: tube operands must be monge");
@@ -215,7 +275,30 @@ void run_tube_group(std::vector<Member>& members,
     }
   }
   if (live.empty()) return;
+  if (pl.algo != plan::Algo::Parallel) {
+    // Per-point scan over the middle index, smallest j on ties --
+    // exactly the tube_*_brute convention of monge/composite.hpp.
+    const std::size_t q = d->data.cols();
+    for (std::size_t t = 0; t < live.size(); ++t) {
+      const par::TubeQuery& tq = qs[t];
+      std::int64_t best = d->data(tq.i, 0) + e->data(0, tq.k);
+      std::size_t bestj = 0;
+      for (std::size_t j = 1; j < q; ++j) {
+        const std::int64_t v = d->data(tq.i, j) + e->data(j, tq.k);
+        if (maxima ? v > best : v < best) {
+          best = v;
+          bestj = j;
+        }
+      }
+      Json::Obj o;
+      o["value"] = best;
+      o["j"] = static_cast<std::int64_t>(bestj);
+      set_ok(*live[t]->out, Json(std::move(o)));
+    }
+    return;
+  }
   pram::Machine mach(model);
+  exec::GrainScope grain(pl.grain);
   auto res = maxima ? par::tube_maxima_points(mach, d->data, e->data, qs)
                     : par::tube_minima_points(mach, d->data, e->data, qs);
   metrics.charged_time().add(mach.meter().time);
@@ -229,7 +312,7 @@ void run_tube_group(std::vector<Member>& members,
 }
 
 void run_edit_group(std::vector<Member>& members, pram::Model model,
-                    ServiceMetrics& metrics) {
+                    ServiceMetrics& metrics, const plan::Plan& pl) {
   std::vector<apps::EditJob> jobs;
   std::vector<Member*> live;
   for (Member& m : members) {
@@ -247,10 +330,18 @@ void run_edit_group(std::vector<Member>& members, pram::Model model,
     }
   }
   if (live.empty()) return;
-  pram::Machine mach(model);
-  const auto costs = apps::edit_distance_par_batch(mach, jobs);
-  metrics.charged_time().add(mach.meter().time);
-  metrics.charged_work().add(mach.meter().work);
+  std::vector<std::int64_t> costs;
+  if (pl.algo != plan::Algo::Parallel) {
+    costs.reserve(jobs.size());
+    for (const apps::EditJob& job : jobs) {
+      costs.push_back(apps::edit_distance_seq(job.x, job.y, job.costs).cost);
+    }
+  } else {
+    pram::Machine mach(model);
+    costs = apps::edit_distance_par_batch(mach, jobs);
+    metrics.charged_time().add(mach.meter().time);
+    metrics.charged_work().add(mach.meter().work);
+  }
   for (std::size_t t = 0; t < live.size(); ++t) {
     Json::Obj o;
     o["cost"] = costs[t];
@@ -359,11 +450,13 @@ void run_polygon_group(std::vector<Member>& members, pram::Model model,
       const auto res = apps::neighbors_par(sub, P, Q, kind);
       Json::Arr neighbor, distance;
       for (std::size_t i = 0; i < res.neighbor.size(); ++i) {
-        const bool miss = res.neighbor[i] == apps::NeighborResult::npos;
-        neighbor.push_back(miss ? Json(-1)
-                                : Json(static_cast<std::int64_t>(
-                                      res.neighbor[i])));
-        distance.push_back(miss ? Json(nullptr) : Json(res.distance[i]));
+        if (res.neighbor[i] == apps::NeighborResult::npos) {
+          neighbor.emplace_back(-1);
+          distance.emplace_back(nullptr);
+        } else {
+          neighbor.emplace_back(static_cast<std::int64_t>(res.neighbor[i]));
+          distance.emplace_back(res.distance[i]);
+        }
       }
       Json::Obj o;
       o["neighbor"] = Json(std::move(neighbor));
@@ -379,14 +472,227 @@ void run_polygon_group(std::vector<Member>& members, pram::Model model,
   metrics.charged_work().add(mach.meter().work);
 }
 
+/// Ids of the registered arrays `req` reads -- the cache-entry tags that
+/// unregister invalidates.
+std::vector<std::uint64_t> result_tags(const Request& req) {
+  std::vector<std::uint64_t> tags;
+  for (const char* key : {"array", "d", "e"}) {
+    const Json* p = req.body.find(key);
+    if (p != nullptr && p->type() == Json::Type::Int && p->as_int() >= 0) {
+      tags.push_back(static_cast<std::uint64_t>(p->as_int()));
+    }
+  }
+  return tags;
+}
+
 }  // namespace
+
+plan::QueryShape query_shape(const Request& req, Registry& reg) {
+  plan::QueryShape s;
+  const Json& b = req.body;
+  const auto entry_of =
+      [&](const char* key) -> std::shared_ptr<const ArrayEntry> {
+    const Json* p = b.find(key);
+    if (p == nullptr || p->type() != Json::Type::Int || p->as_int() < 0) {
+      return nullptr;
+    }
+    return reg.get(static_cast<std::uint64_t>(p->as_int()));
+  };
+  const auto points_of = [&](const char* key) -> std::size_t {
+    const Json* p = b.find(key);
+    return p != nullptr && p->type() == Json::Type::Array ? p->arr().size()
+                                                          : 0;
+  };
+  if (req.op == "rowmin" || req.op == "rowmax" ||
+      req.op == "staircase_rowmin" || req.op == "staircase_rowmax") {
+    s.op = plan::OpClass::RowSearch;
+    if (const auto e = entry_of("array")) {
+      s.rows = e->data.rows();
+      s.cols = e->data.cols();
+    }
+  } else if (req.op == "tubemax" || req.op == "tubemin") {
+    s.op = plan::OpClass::TubeSearch;
+    if (const auto d = entry_of("d")) {
+      s.rows = d->data.rows();
+      s.cols = d->data.cols();
+    }
+  } else if (req.op == "string_edit") {
+    s.op = plan::OpClass::EditDistance;
+    const Json* x = b.find("x");
+    const Json* y = b.find("y");
+    if (x != nullptr && x->type() == Json::Type::String) {
+      s.rows = x->as_string().size();
+    }
+    if (y != nullptr && y->type() == Json::Type::String) {
+      s.cols = y->as_string().size();
+    }
+  } else {
+    s.op = plan::OpClass::GeometricApp;
+    s.rows = points_of("points") + points_of("p") + points_of("q");
+  }
+  s.batch = 1;
+  return s;
+}
+
+void Batcher::dispatch_group(std::vector<Member>& ms) {
+  const std::string& op = ms.front().req->op;
+  try {
+    if (op == "rowmin" || op == "rowmax") {
+      auto entry = resolve(registry_, ms.front().req->body, "array",
+                           *ms.front().out);
+      if (entry == nullptr) {
+        fail_unanswered(ms, ms.front().out->error);
+        return;
+      }
+      const plan::QueryShape shape{plan::OpClass::RowSearch,
+                                   entry->data.rows(), entry->data.cols(),
+                                   ms.size()};
+      const plan::Plan pl = planner_.plan(shape);
+      count_plan(metrics_, pl.algo);
+      run_row_group(ms, entry, op == "rowmax", model_, metrics_, pl);
+    } else if (op == "staircase_rowmin" || op == "staircase_rowmax") {
+      auto entry = resolve(registry_, ms.front().req->body, "array",
+                           *ms.front().out);
+      if (entry == nullptr) {
+        fail_unanswered(ms, ms.front().out->error);
+        return;
+      }
+      const plan::QueryShape shape{plan::OpClass::RowSearch,
+                                   entry->data.rows(), entry->data.cols(),
+                                   ms.size()};
+      const plan::Plan pl = planner_.plan(shape);
+      count_plan(metrics_, pl.algo);
+      run_staircase_group(ms, entry, op == "staircase_rowmax", model_,
+                          metrics_, pl);
+    } else if (op == "tubemax" || op == "tubemin") {
+      auto d = resolve(registry_, ms.front().req->body, "d",
+                       *ms.front().out);
+      auto e = d == nullptr ? nullptr
+                            : resolve(registry_, ms.front().req->body,
+                                      "e", *ms.front().out);
+      if (d == nullptr || e == nullptr) {
+        fail_unanswered(ms, ms.front().out->error);
+        return;
+      }
+      const plan::QueryShape shape{plan::OpClass::TubeSearch,
+                                   d->data.rows(), d->data.cols(),
+                                   ms.size()};
+      const plan::Plan pl = planner_.plan(shape);
+      count_plan(metrics_, pl.algo);
+      run_tube_group(ms, d, e, op == "tubemax", model_, metrics_, pl);
+    } else if (op == "string_edit") {
+      plan::QueryShape shape;
+      shape.op = plan::OpClass::EditDistance;
+      shape.batch = ms.size();
+      for (const Member& m : ms) {
+        const plan::QueryShape one = query_shape(*m.req, registry_);
+        shape.rows = std::max(shape.rows, one.rows);
+        shape.cols = std::max(shape.cols, one.cols);
+      }
+      const plan::Plan pl = planner_.plan(shape);
+      count_plan(metrics_, pl.algo);
+      run_edit_group(ms, model_, metrics_, pl);
+    } else if (op == "largest_rect" || op == "empty_rect" ||
+               op == "polygon_neighbors") {
+      plan::QueryShape shape;
+      shape.op = plan::OpClass::GeometricApp;
+      shape.batch = ms.size();
+      for (const Member& m : ms) {
+        shape.rows =
+            std::max(shape.rows, query_shape(*m.req, registry_).rows);
+      }
+      const plan::Plan pl = planner_.plan(shape);
+      count_plan(metrics_, pl.algo);
+      if (op == "largest_rect") {
+        run_largest_rect_group(ms, model_, metrics_);
+      } else if (op == "empty_rect") {
+        run_empty_rect_group(ms, model_, metrics_);
+      } else {
+        run_polygon_group(ms, model_, metrics_);
+      }
+    } else {
+      fail_unanswered(ms, "unknown_op: " + op);
+    }
+  } catch (const std::exception& e) {
+    fail_unanswered(ms, std::string("internal: ") + e.what());
+  }
+}
+
+void Batcher::run_explain(const Request& req, BatchOutcome& out) {
+  const Json* q = req.body.find("query");
+  if (q == nullptr || q->type() != Json::Type::Object) {
+    set_error(out, "bad_request: explain requires an object field \"query\"");
+    return;
+  }
+  Request inner;
+  try {
+    inner = parse_request(q->dump());
+  } catch (const JsonError& e) {
+    set_error(out, e.what());
+    return;
+  }
+  if (!is_query_op(inner.op) || inner.op == "explain") {
+    set_error(out,
+              "bad_request: explain \"query\" must be a query op other than "
+              "explain");
+    return;
+  }
+
+  const plan::QueryShape shape = query_shape(inner, registry_);
+  const plan::Plan pl = planner_.plan(shape);
+
+  // One uncached run of the inner query, timed.  explain is
+  // observability: neither this run nor its timing touches the result
+  // cache, and the inner bytes it reports are the same bytes the plain
+  // query produces.
+  BatchOutcome sub;
+  std::vector<Member> ms{Member{&inner, &sub}};
+  const auto t0 = std::chrono::steady_clock::now();
+  dispatch_group(ms);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double actual_us =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              t1 - t0)
+                              .count()) /
+      1000.0;
+
+  Json::Obj shape_o;
+  shape_o["op_class"] = plan::op_class_name(shape.op);
+  shape_o["rows"] = static_cast<std::int64_t>(shape.rows);
+  shape_o["cols"] = static_cast<std::int64_t>(shape.cols);
+  shape_o["batch"] = static_cast<std::int64_t>(shape.batch);
+  Json::Obj plan_o;
+  plan_o["algo"] = plan::algo_name(pl.algo);
+  plan_o["grain"] = static_cast<std::int64_t>(pl.grain);
+  plan_o["predicted_us"] = pl.predicted_us;
+  plan_o["profile"] = planner_.profile().id;
+  plan_o["planner_enabled"] = planner_.enabled();
+  plan_o["shape"] = Json(std::move(shape_o));
+  Json::Obj outcome_o;
+  outcome_o["ok"] = sub.ok;
+  if (sub.ok) {
+    outcome_o["result"] = sub.result;
+  } else {
+    outcome_o["error"] = sub.error;
+  }
+  Json::Obj o;
+  o["plan"] = Json(std::move(plan_o));
+  o["actual_us"] = actual_us;
+  o["outcome"] = Json(std::move(outcome_o));
+  set_ok(out, Json(std::move(o)));
+}
 
 std::vector<BatchOutcome> Batcher::run(std::span<const Request> reqs) {
   std::vector<BatchOutcome> out(reqs.size());
 
-  // Cache pass: answered hits never reach a group.
+  // Cache pass: answered hits never reach a group.  explain requests
+  // bypass the cache entirely (their payload embeds a measured time).
   std::vector<std::size_t> misses;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].op == "explain") {
+      run_explain(reqs[i], out[i]);
+      continue;
+    }
     if (cache_.enabled()) {
       if (auto hit = cache_.get(reqs[i].signature)) {
         out[i].ok = true;
@@ -423,60 +729,18 @@ std::vector<BatchOutcome> Batcher::run(std::span<const Request> reqs) {
   jobs.reserve(groups.size());
   for (auto& [key, members_ref] : groups) {
     std::vector<Member>* members = &members_ref;
-    jobs.push_back([this, members] {
-      std::vector<Member>& ms = *members;
-      const std::string& op = ms.front().req->op;
-      try {
-        if (op == "rowmin" || op == "rowmax") {
-          auto entry = resolve(registry_, ms.front().req->body, "array",
-                               *ms.front().out);
-          if (entry == nullptr) {
-            fail_unanswered(ms, ms.front().out->error);
-            return;
-          }
-          run_row_group(ms, entry, op == "rowmax", model_, metrics_);
-        } else if (op == "staircase_rowmin" || op == "staircase_rowmax") {
-          auto entry = resolve(registry_, ms.front().req->body, "array",
-                               *ms.front().out);
-          if (entry == nullptr) {
-            fail_unanswered(ms, ms.front().out->error);
-            return;
-          }
-          run_staircase_group(ms, entry, op == "staircase_rowmax", model_,
-                              metrics_);
-        } else if (op == "tubemax" || op == "tubemin") {
-          auto d = resolve(registry_, ms.front().req->body, "d",
-                           *ms.front().out);
-          auto e = d == nullptr ? nullptr
-                                : resolve(registry_, ms.front().req->body,
-                                          "e", *ms.front().out);
-          if (d == nullptr || e == nullptr) {
-            fail_unanswered(ms, ms.front().out->error);
-            return;
-          }
-          run_tube_group(ms, d, e, op == "tubemax", model_, metrics_);
-        } else if (op == "string_edit") {
-          run_edit_group(ms, model_, metrics_);
-        } else if (op == "largest_rect") {
-          run_largest_rect_group(ms, model_, metrics_);
-        } else if (op == "empty_rect") {
-          run_empty_rect_group(ms, model_, metrics_);
-        } else if (op == "polygon_neighbors") {
-          run_polygon_group(ms, model_, metrics_);
-        } else {
-          fail_unanswered(ms, "unknown_op: " + op);
-        }
-      } catch (const std::exception& e) {
-        fail_unanswered(ms, std::string("internal: ") + e.what());
-      }
-    });
+    jobs.push_back([this, members] { dispatch_group(*members); });
   }
   exec::parallel_jobs(jobs);
 
-  // Memoize fresh successes under their signatures.
+  // Memoize fresh successes under their signatures, tagged with the
+  // array ids they read so unregister can invalidate them.
   if (cache_.enabled()) {
     for (const std::size_t i : misses) {
-      if (out[i].ok) cache_.put(reqs[i].signature, out[i].result.dump());
+      if (out[i].ok) {
+        cache_.put_tagged(reqs[i].signature, out[i].result.dump(),
+                          result_tags(reqs[i]));
+      }
     }
   }
   return out;

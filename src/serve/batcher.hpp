@@ -16,17 +16,31 @@
 // All groups of a batch are then pushed into the exec engine as ONE
 // submission (exec::parallel_jobs).
 //
+// Planning: each group consults the execution planner (src/plan) for the
+// cheapest variant -- a brute scan of exactly the queried cells, the
+// sequential SMAWK-family solver, or the parallel kernel (with the
+// plan's grain hint).  All variants return the leftmost optimum, so the
+// chosen algorithm is invisible in the response bytes; a disabled
+// planner reproduces the old fixed parallel dispatch exactly.
+//
 // Correctness contract: outcome[i] depends only on request i -- never on
-// what else shared its batch -- so responses are bit-identical whether
-// coalescing is on or off.  Per-request failures (bad fields, unknown
+// what else shared its batch, which profile is loaded, or what the plan
+// cache holds -- so responses are bit-identical whether coalescing or
+// planning is on or off.  Per-request failures (bad fields, unknown
 // arrays) are per-request errors; a group-level algorithm failure marks
 // only that group's members, never its batch siblings.
+//
+// The `explain` op ({"op":"explain","query":{...}}) answers with the
+// inner query's plan, its predicted cost, the measured wall time of one
+// uncached run, and the inner outcome.  Like `stats` it is
+// observability output: never cached, bytes may vary run to run.
 #pragma once
 
 #include <span>
 #include <string>
 #include <vector>
 
+#include "plan/planner.hpp"
 #include "pram/machine.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
@@ -42,13 +56,29 @@ struct BatchOutcome {
   bool cache_hit = false;
 };
 
+namespace detail {
+/// A request slot inside one coalesced group.
+struct BatchMember {
+  const Request* req;
+  BatchOutcome* out;
+};
+}  // namespace detail
+
+/// What `req` would touch, in cost-model units (batch = 1): operand
+/// dimensions resolved through the registry where the op references a
+/// registered array.  Unknown arrays / malformed fields yield a zero
+/// shape (predicts ~nothing; the query itself then fails normally).
+/// Shared by admission control and the explain op.
+plan::QueryShape query_shape(const Request& req, Registry& reg);
+
 class Batcher {
  public:
   Batcher(Registry& registry, ShardedLruCache& cache, ServiceMetrics& metrics,
-          pram::Model model, bool coalesce)
+          const plan::Planner& planner, pram::Model model, bool coalesce)
       : registry_(registry),
         cache_(cache),
         metrics_(metrics),
+        planner_(planner),
         model_(model),
         coalesce_(coalesce) {}
 
@@ -57,9 +87,13 @@ class Batcher {
   std::vector<BatchOutcome> run(std::span<const Request> reqs);
 
  private:
+  void dispatch_group(std::vector<detail::BatchMember>& ms);
+  void run_explain(const Request& req, BatchOutcome& out);
+
   Registry& registry_;
   ShardedLruCache& cache_;
   ServiceMetrics& metrics_;
+  const plan::Planner& planner_;
   pram::Model model_;
   bool coalesce_;
 };

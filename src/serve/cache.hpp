@@ -11,8 +11,17 @@
 // one lock.  Eviction is per shard (capacity is split evenly), which
 // bounds total residency at `capacity` entries while keeping eviction
 // decisions lock-local.
+//
+// Tagged invalidation: entries inserted with put_tagged() carry the ids
+// of the registered arrays their result depends on; invalidate_tag(id)
+// drops every such entry.  Unregistering an array invalidates its tag,
+// which closes the stale-read hole where a re-registered or removed id
+// could still answer `ok` from cache.  Invalidation scans the shards --
+// unregister is rare and the cache is small, so an O(entries) sweep
+// beats maintaining a reverse index on the hot put path.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -29,6 +38,7 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  // entries dropped by invalidate_tag
   std::size_t entries = 0;
 };
 
@@ -61,29 +71,60 @@ class ShardedLruCache {
     }
     ++sh.hits;
     sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
-    return it->second->second;
+    return it->second->value;
   }
 
   /// Insert or refresh `key`; evicts the shard's least-recently-used
   /// entry when the shard is at capacity.
   void put(const std::string& key, std::string value) {
+    put_tagged(key, std::move(value), {});
+  }
+
+  /// put() plus dependency tags: the entry is dropped when any of its
+  /// tags is invalidated.  The serve layer tags each result with the ids
+  /// of the arrays it read.
+  void put_tagged(const std::string& key, std::string value,
+                  std::vector<std::uint64_t> tags) {
     if (!enabled()) return;
     Shard& sh = shard_of(key);
     std::lock_guard<std::mutex> lock(sh.mu);
     const auto it = sh.index.find(key);
     if (it != sh.index.end()) {
-      it->second->second = std::move(value);
+      it->second->value = std::move(value);
+      it->second->tags = std::move(tags);
       sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
       return;
     }
-    sh.lru.emplace_front(key, std::move(value));
+    sh.lru.push_front(Entry{key, std::move(value), std::move(tags)});
     sh.index.emplace(key, sh.lru.begin());
     ++sh.insertions;
     if (sh.lru.size() > per_shard_) {
-      sh.index.erase(sh.lru.back().first);
+      sh.index.erase(sh.lru.back().key);
       sh.lru.pop_back();
       ++sh.evictions;
     }
+  }
+
+  /// Drop every entry tagged with `tag`; returns the number dropped.
+  std::size_t invalidate_tag(std::uint64_t tag) {
+    std::size_t dropped = 0;
+    for (auto& shp : shards_) {
+      Shard& sh = *shp;
+      std::lock_guard<std::mutex> lock(sh.mu);
+      for (auto it = sh.lru.begin(); it != sh.lru.end();) {
+        const bool hit = std::find(it->tags.begin(), it->tags.end(), tag) !=
+                         it->tags.end();
+        if (hit) {
+          sh.index.erase(it->key);
+          it = sh.lru.erase(it);
+          ++sh.invalidations;
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return dropped;
   }
 
   void clear() {
@@ -111,6 +152,7 @@ class ShardedLruCache {
       s.misses += sh->misses;
       s.insertions += sh->insertions;
       s.evictions += sh->evictions;
+      s.invalidations += sh->invalidations;
       s.entries += sh->lru.size();
     }
     return s;
@@ -119,13 +161,18 @@ class ShardedLruCache {
   std::size_t shard_count() const { return shards_.size(); }
 
  private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    std::vector<std::uint64_t> tags;  // array ids the value depends on
+  };
+
   struct Shard {
     mutable std::mutex mu;
-    std::list<std::pair<std::string, std::string>> lru;  // front = newest
-    std::unordered_map<std::string,
-                       std::list<std::pair<std::string, std::string>>::iterator>
-        index;
-    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+    std::list<Entry> lru;  // front = newest
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0,
+                  invalidations = 0;
   };
 
   Shard& shard_of(const std::string& key) {

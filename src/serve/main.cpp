@@ -10,6 +10,8 @@
 //
 // Flags (see docs/serving.md): --queue N --batch N --cache N --shards N
 // --no-batch --no-cache --model NAME --deadline-ms N --max-cells N
+// --profile PATH --no-plan --calibrate PATH (PMONGE_PROFILE is the env
+// equivalent of --profile; the flag wins when both are set)
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +23,7 @@
 #include <thread>
 
 #include "exec/thread_pool.hpp"
+#include "plan/calibrate.hpp"
 #include "pram/machine.hpp"
 #include "serve/service.hpp"
 #include "support/cli.hpp"
@@ -57,7 +60,14 @@ int main(int argc, char** argv) {
         "  --model NAME     crew | crcw | crcw_arbitrary | crcw_priority\n"
         "                   (default crcw)\n"
         "  --deadline-ms N  default per-request deadline (default: none)\n"
-        "  --max-cells N    register_* size guard (default 2^24)");
+        "  --max-cells N    register_* size guard (default 2^24)\n"
+        "  --profile PATH   load a calibrated cost profile (JSON); the\n"
+        "                   PMONGE_PROFILE env var is equivalent, the flag\n"
+        "                   wins; default: the deterministic built-in\n"
+        "  --no-plan        disable the execution planner (fixed parallel\n"
+        "                   dispatch, no deadline_unmeetable admission)\n"
+        "  --calibrate PATH run the calibration microbenchmarks, write the\n"
+        "                   fitted profile to PATH, and exit");
     return 0;
   }
 
@@ -73,6 +83,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (cli.has("calibrate")) {
+    const std::string path = cli.get("calibrate", "");
+    if (path.empty()) {
+      std::fprintf(stderr, "pmonge-serve: --calibrate needs a path\n");
+      return 2;
+    }
+    try {
+      const auto prof = pmonge::plan::calibrate();
+      pmonge::plan::save_profile(prof, path);
+      std::fprintf(stderr, "pmonge-serve: wrote profile \"%s\" (%s)\n",
+                   path.c_str(), prof.id.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pmonge-serve: %s\n", e.what());
+      return 2;
+    }
+    return 0;
+  }
+
   pmonge::serve::ServiceOptions opts;
   opts.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 1024));
   opts.batch_max = static_cast<std::size_t>(cli.get_int("batch", 64));
@@ -84,6 +112,23 @@ int main(int argc, char** argv) {
   opts.default_deadline_ms = cli.get_int("deadline-ms", -1);
   opts.max_register_cells =
       static_cast<std::size_t>(cli.get_int("max-cells", std::int64_t{1} << 24));
+  if (cli.has("no-plan")) opts.planner = false;
+
+  // Cost profile: --profile beats PMONGE_PROFILE beats the built-in.
+  // A profile that cannot be loaded is a hard startup error (exit 2
+  // quoting the path), never a silent fallback.
+  std::string profile_path = cli.get("profile", "");
+  if (profile_path.empty()) {
+    if (const char* env = std::getenv("PMONGE_PROFILE")) profile_path = env;
+  }
+  if (!profile_path.empty()) {
+    try {
+      opts.profile = pmonge::plan::load_profile(profile_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pmonge-serve: %s\n", e.what());
+      return 2;
+    }
+  }
 
   pmonge::serve::Service service(opts);
 

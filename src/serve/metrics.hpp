@@ -28,6 +28,7 @@ struct EndpointMetrics {
   support::Counter errors;        // answered with ok:false (any reason)
   support::Counter overloaded;    // rejected at admission
   support::Counter expired;       // answered deadline_expired
+  support::Counter unmeetable;    // rejected deadline_unmeetable at admission
   support::Counter cache_hits;
   support::Counter cache_misses;
   support::LogHistogram latency_us;  // submit -> response, microseconds
@@ -52,18 +53,27 @@ class ServiceMetrics {
   support::Counter& charged_time() { return charged_time_; }
   support::Counter& charged_work() { return charged_work_; }
 
+  // Planner choice counters (one per executed group, by chosen variant).
+  support::Counter& plans_brute() { return plans_brute_; }
+  support::Counter& plans_sequential() { return plans_sequential_; }
+  support::Counter& plans_parallel() { return plans_parallel_; }
+
   /// Snapshot as a JSON object (endpoints with zero requests and zero
   /// rejections are omitted to keep `stats` responses readable).
   Json snapshot() const {
     Json::Obj endpoints;
     for (const auto& [op, m] : by_op_) {
-      if (m->requests.value() == 0 && m->overloaded.value() == 0) continue;
+      if (m->requests.value() == 0 && m->overloaded.value() == 0 &&
+          m->unmeetable.value() == 0) {
+        continue;
+      }
       Json::Obj e;
       e["requests"] = m->requests.value();
       e["ok"] = m->ok.value();
       e["errors"] = m->errors.value();
       e["overloaded"] = m->overloaded.value();
       e["expired"] = m->expired.value();
+      e["unmeetable"] = m->unmeetable.value();
       e["cache_hits"] = m->cache_hits.value();
       e["cache_misses"] = m->cache_misses.value();
       Json::Obj lat;
@@ -85,6 +95,11 @@ class ServiceMetrics {
     charged["time"] = charged_time_.value();
     charged["work"] = charged_work_.value();
     out["charged"] = Json(std::move(charged));
+    Json::Obj plans;
+    plans["brute"] = plans_brute_.value();
+    plans["sequential"] = plans_sequential_.value();
+    plans["parallel"] = plans_parallel_.value();
+    out["plans"] = Json(std::move(plans));
     return Json(std::move(out));
   }
 
@@ -95,6 +110,9 @@ class ServiceMetrics {
   support::LogHistogram batch_size_;
   support::Counter charged_time_;  // summed simulated-PRAM steps
   support::Counter charged_work_;  // summed simulated-PRAM work
+  support::Counter plans_brute_;
+  support::Counter plans_sequential_;
+  support::Counter plans_parallel_;
 };
 
 }  // namespace pmonge::serve

@@ -8,7 +8,7 @@ const std::vector<std::string>& query_ops() {
   static const std::vector<std::string> ops = {
       "rowmin",      "rowmax",       "staircase_rowmin", "staircase_rowmax",
       "tubemax",     "tubemin",      "string_edit",      "largest_rect",
-      "empty_rect",  "polygon_neighbors",
+      "empty_rect",  "polygon_neighbors", "explain",
   };
   return ops;
 }

@@ -14,8 +14,11 @@
 //     after its response;
 //   * query plane (rowmin / rowmax / staircase_rowmin / staircase_rowmax /
 //     tubemax / tubemin / string_edit / largest_rect / empty_rect /
-//     polygon_neighbors) -- admitted through the bounded queue, coalesced
-//     by the batcher, memoized by signature.
+//     polygon_neighbors / explain) -- admitted through the bounded queue,
+//     coalesced by the batcher, memoized by signature.  explain wraps
+//     another query ({"op":"explain","query":{...}}) and reports the
+//     planner's chosen plan plus predicted vs actual cost; like stats it
+//     is observability output and is never cached.
 //
 // The *signature* of a query is the canonical dump of its body with the
 // transport fields ("id", "deadline_ms") removed: two requests asking the

@@ -1,8 +1,10 @@
 #include "serve/service.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
+#include "exec/thread_pool.hpp"
 #include "monge/generators.hpp"
 #include "monge/validate.hpp"
 #include "support/rng.hpp"
@@ -31,7 +33,9 @@ Service::Service(ServiceOptions opts)
     : opts_(opts),
       cache_(opts.cache_capacity, opts.cache_shards),
       metrics_(all_ops()),
-      batcher_(registry_, cache_, metrics_, opts.model, opts.coalesce),
+      planner_(opts.profile, opts.planner, exec::num_threads()),
+      batcher_(registry_, cache_, metrics_, planner_, opts.model,
+               opts.coalesce),
       queue_(std::make_unique<AdmissionQueue<Pending>>(opts.queue_capacity)) {
   worker_ = std::thread([this] { worker_loop(); });
 }
@@ -79,6 +83,25 @@ std::future<std::string> Service::submit(std::string line) {
           : ServeClock::now() + std::chrono::milliseconds(deadline_ms);
 
   EndpointMetrics& em = metrics_.endpoint(req.op);
+
+  // Deadline-aware admission: if the cost model already knows the
+  // deadline cannot be met, reject before the request burns queue space
+  // or engine time.  explain is exempt (it exists to report the plan).
+  if (planner_.enabled() && deadline_ms >= 0 && req.op != "explain") {
+    const double predicted_us =
+        planner_.predicted_us(query_shape(req, registry_));
+    if (predicted_us > static_cast<double>(deadline_ms) * 1000.0) {
+      em.unmeetable.add();
+      em.errors.add();
+      promise.set_value(make_error_response(
+          req.id,
+          "deadline_unmeetable: predicted " +
+              std::to_string(
+                  static_cast<std::int64_t>(std::llround(predicted_us))) +
+              "us exceeds deadline " + std::to_string(deadline_ms) + "ms"));
+      return fut;
+    }
+  }
   const std::int64_t id = req.id;
   Pending p{std::move(req), std::move(promise)};
   if (queue_->try_push(std::move(p), deadline) == AdmitResult::Overloaded) {
@@ -205,9 +228,18 @@ std::string Service::handle_control(const Request& req) {
 
     if (req.op == "unregister") {
       const std::int64_t id = req.body.at("array").as_int();
-      Json::Obj o;
-      o["removed"] =
+      const bool removed =
           id >= 0 && registry_.remove(static_cast<std::uint64_t>(id));
+      // Cached results that read this array must die with it: a later
+      // query on the removed id has to answer unknown_array, never a
+      // stale ok resurrected from the LRU.
+      std::size_t dropped = 0;
+      if (removed) {
+        dropped = cache_.invalidate_tag(static_cast<std::uint64_t>(id));
+      }
+      Json::Obj o;
+      o["removed"] = removed;
+      o["cache_invalidated"] = static_cast<std::int64_t>(dropped);
       return make_ok_response(req.id, Json(std::move(o)));
     }
 
@@ -322,8 +354,18 @@ Json Service::stats_json() const {
   cache["misses"] = cs.misses;
   cache["insertions"] = cs.insertions;
   cache["evictions"] = cs.evictions;
+  cache["invalidations"] = cs.invalidations;
   cache["entries"] = cs.entries;
   out["cache"] = Json(std::move(cache));
+  const plan::PlanCache::Stats ps = planner_.cache_stats();
+  Json::Obj planner;
+  planner["enabled"] = planner_.enabled();
+  planner["profile"] = planner_.profile().id;
+  planner["threads"] = static_cast<std::int64_t>(planner_.threads());
+  planner["plan_cache_hits"] = ps.hits;
+  planner["plan_cache_misses"] = ps.misses;
+  planner["plan_cache_size"] = static_cast<std::int64_t>(ps.size);
+  out["planner"] = Json(std::move(planner));
   Json::Obj queue;
   queue["capacity"] = queue_->capacity();
   queue["depth"] = queue_->size();

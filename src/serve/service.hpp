@@ -15,8 +15,15 @@
 //
 // Determinism guarantee: the bytes of every query response depend only on
 // the request and the registered operand -- not on PMONGE_THREADS, not on
-// batching on/off, not on cache warm/cold, not on what shared the batch.
-// `stats` is the deliberate exception (it reports live counters).
+// batching on/off, not on cache warm/cold, not on what shared the batch,
+// not on the planner toggle, the loaded cost profile, or the plan cache.
+// `stats` and `explain` are the deliberate exceptions (they report live
+// counters / measured timings).
+//
+// Deadline-aware admission: when the planner is on and a request carries
+// a deadline, submit() compares the plan's predicted latency against it
+// and answers `deadline_unmeetable` immediately -- the request never
+// enters the queue or the engine.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "plan/cost_model.hpp"
+#include "plan/planner.hpp"
 #include "pram/machine.hpp"
 #include "serve/admission.hpp"
 #include "serve/batcher.hpp"
@@ -45,6 +54,8 @@ struct ServiceOptions {
   pram::Model model = pram::Model::CRCW_COMMON;
   std::int64_t default_deadline_ms = -1;  // applied when a request has none
   std::size_t max_register_cells = std::size_t{1} << 24;  // register guard
+  bool planner = true;                // adaptive execution planner on/off
+  plan::CostProfile profile = plan::builtin_profile();  // cost-model constants
 };
 
 class Service {
@@ -88,6 +99,7 @@ class Service {
   Registry registry_;
   ShardedLruCache cache_;
   ServiceMetrics metrics_;
+  plan::Planner planner_;
   Batcher batcher_;
   std::unique_ptr<AdmissionQueue<Pending>> queue_;
   std::thread worker_;

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "exec/parallel.hpp"
@@ -278,6 +279,97 @@ TEST(ExecDeterminism, PramPrimitivesIdenticalAt1And8Threads) {
 
   EXPECT_EQ(r1, r8);
   EXPECT_EQ(cost_of(m1), cost_of(m8));
+}
+
+// ---------------------------------------------------------------------------
+// SerialScope / GrainScope (the planner's execution hints)
+// ---------------------------------------------------------------------------
+
+TEST(ExecScopes, SerialScopeNestsAndRestores) {
+  EXPECT_EQ(exec::serial_scope_depth(), 0u);
+  {
+    exec::SerialScope outer;
+    EXPECT_EQ(exec::serial_scope_depth(), 1u);
+    {
+      exec::SerialScope inner;
+      EXPECT_EQ(exec::serial_scope_depth(), 2u);
+    }
+    EXPECT_EQ(exec::serial_scope_depth(), 1u);
+  }
+  EXPECT_EQ(exec::serial_scope_depth(), 0u);
+}
+
+TEST(ExecScopes, SerialScopeRunsOnTheCallingThread) {
+  ThreadGuard tg;
+  exec::set_num_threads(8);
+  const auto me = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  exec::SerialScope serial;
+  exec::parallel_for(10000, 16, [&](std::size_t) {
+    if (std::this_thread::get_id() != me) off_thread.fetch_add(1);
+  });
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ExecScopes, SerialScopeLeavesResultsAndChargesUnchanged) {
+  ThreadGuard tg;
+  exec::set_num_threads(8);
+  Rng rng(77);
+  const auto a = monge::random_monge(40, 40, rng);
+  Machine m_par(Model::CRCW_COMMON);
+  const auto r_par = par::monge_row_minima(m_par, a);
+  Machine m_ser(Model::CRCW_COMMON);
+  exec::SerialScope serial;
+  const auto r_ser = par::monge_row_minima(m_ser, a);
+  ASSERT_EQ(r_par.size(), r_ser.size());
+  for (std::size_t i = 0; i < r_par.size(); ++i) {
+    EXPECT_EQ(r_par[i].value, r_ser[i].value) << i;
+    EXPECT_EQ(r_par[i].col, r_ser[i].col) << i;
+  }
+  // The simulated-PRAM meter charges the model's cost, not the host
+  // schedule's: execution strategy must be invisible in it.
+  EXPECT_EQ(m_par.meter().time, m_ser.meter().time);
+  EXPECT_EQ(m_par.meter().work, m_ser.meter().work);
+}
+
+TEST(ExecScopes, GrainScopeOverridesAndRestores) {
+  EXPECT_EQ(exec::grain_override(), 0u);
+  {
+    exec::GrainScope g(512);
+    EXPECT_EQ(exec::grain_override(), 512u);
+    EXPECT_EQ(exec::grain_for(1), 512u);
+    EXPECT_EQ(exec::grain_for(4), 128u);  // cost hint still divides
+    {
+      exec::GrainScope inner(64);
+      EXPECT_EQ(exec::grain_override(), 64u);
+    }
+    EXPECT_EQ(exec::grain_override(), 512u);
+  }
+  EXPECT_EQ(exec::grain_override(), 0u);
+  // Grain 0 means "no override": the default grain applies.
+  exec::GrainScope none(0);
+  EXPECT_EQ(exec::grain_for(1), exec::default_grain());
+}
+
+TEST(ExecScopes, GrainOverrideCannotChangeArgoptResults) {
+  ThreadGuard tg;
+  exec::set_num_threads(8);
+  Rng rng(78);
+  const auto a = monge::random_monge(80, 80, rng);
+  Machine m_default(Model::CRCW_COMMON);
+  const auto r_default = par::monge_row_minima(m_default, a);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+    exec::GrainScope g(grain);
+    Machine m(Model::CRCW_COMMON);
+    const auto r = par::monge_row_minima(m, a);
+    ASSERT_EQ(r.size(), r_default.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      EXPECT_EQ(r[i].value, r_default[i].value) << "grain " << grain;
+      EXPECT_EQ(r[i].col, r_default[i].col) << "grain " << grain;
+    }
+    EXPECT_EQ(m.meter().time, m_default.meter().time) << "grain " << grain;
+    EXPECT_EQ(m.meter().work, m_default.meter().work) << "grain " << grain;
+  }
 }
 
 TEST(ExecDeterminism, LeftmostTiePolicySurvivesChunking) {

@@ -1,0 +1,407 @@
+// Planner tests: cost-model monotonicity, profile persistence (loud
+// failures), shape-class memoization, and the serve-layer contracts --
+// explain is well-formed for every query op, and the chosen variant is
+// invisible in response bytes across shapes straddling the serial
+// cutoff and the cost-model crossovers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "par/monge_rowminima.hpp"
+#include "plan/calibrate.hpp"
+#include "plan/cost_model.hpp"
+#include "plan/plan_cache.hpp"
+#include "plan/planner.hpp"
+#include "serve/json.hpp"
+#include "serve/service.hpp"
+
+namespace pmonge::plan {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+const OpClass kOps[] = {OpClass::RowSearch, OpClass::TubeSearch,
+                        OpClass::EditDistance, OpClass::GeometricApp};
+const Algo kAlgos[] = {Algo::Brute, Algo::Sequential, Algo::Parallel};
+
+TEST(CostModel, MonotoneInEveryShapeDimension) {
+  const CostProfile prof = builtin_profile();
+  for (const OpClass op : kOps) {
+    for (const Algo algo : kAlgos) {
+      for (std::size_t t : {std::size_t{1}, std::size_t{8}}) {
+        double prev_rows = -1, prev_cols = -1, prev_batch = -1;
+        for (std::size_t k = 0; k <= 20; ++k) {
+          const std::size_t s = std::size_t{1} << k;
+          const double by_rows =
+              predicted_ns(prof, algo, {op, s, 256, 4}, t);
+          const double by_cols =
+              predicted_ns(prof, algo, {op, 256, s, 4}, t);
+          const double by_batch =
+              predicted_ns(prof, algo, {op, 256, 256, s}, t);
+          EXPECT_GE(by_rows, prev_rows) << op_class_name(op) << "/"
+                                        << algo_name(algo) << " rows=" << s;
+          EXPECT_GE(by_cols, prev_cols) << op_class_name(op) << "/"
+                                        << algo_name(algo) << " cols=" << s;
+          EXPECT_GE(by_batch, prev_batch)
+              << op_class_name(op) << "/" << algo_name(algo) << " batch=" << s;
+          prev_rows = by_rows;
+          prev_cols = by_cols;
+          prev_batch = by_batch;
+        }
+      }
+    }
+  }
+}
+
+TEST(CostModel, BuiltinCrossoversAreSane) {
+  const CostProfile prof = builtin_profile();
+  // A single row of a small operand: a brute scan beats paying the pool
+  // dispatch constant.
+  const QueryShape small{OpClass::RowSearch, 8, 8, 1};
+  EXPECT_LT(predicted_ns(prof, Algo::Brute, small, 8),
+            predicted_ns(prof, Algo::Parallel, small, 8));
+  // A big coalesced batch on a big operand: the parallel kernel's
+  // (b + n) lg n work divided over lanes beats b * n brute cells.
+  const QueryShape big{OpClass::RowSearch, 1u << 14, 1u << 14, 1u << 10};
+  EXPECT_LT(predicted_ns(prof, Algo::Parallel, big, 8),
+            predicted_ns(prof, Algo::Brute, big, 8));
+}
+
+// ---------------------------------------------------------------------------
+// Planner + plan cache
+// ---------------------------------------------------------------------------
+
+TEST(Planner, DisabledPlannerIsTheFixedParallelDispatch) {
+  const Planner p(builtin_profile(), /*enabled=*/false, 8);
+  for (const OpClass op : kOps) {
+    const Plan pl = p.plan({op, 8, 8, 1});
+    EXPECT_EQ(pl.algo, Algo::Parallel);
+    EXPECT_EQ(pl.grain, 0u);  // engine default, exactly the old behavior
+  }
+}
+
+TEST(Planner, MemoizesPerShapeClass) {
+  const Planner p(builtin_profile(), true, 8);
+  const Plan a = p.plan({OpClass::RowSearch, 24, 31, 1});
+  auto s = p.cache_stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.size, 1u);
+  // Same lg-buckets (rows in (16,32], cols in (16,32], batch 1): a hit,
+  // and the identical plan.
+  const Plan b = p.plan({OpClass::RowSearch, 17, 32, 1});
+  s = p.cache_stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(b.algo, a.algo);
+  EXPECT_EQ(b.predicted_us, a.predicted_us);
+  // Different bucket: a fresh class.
+  p.plan({OpClass::RowSearch, 100, 31, 1});
+  EXPECT_EQ(p.cache_stats().misses, 2u);
+  p.clear_cache();
+  EXPECT_EQ(p.cache_stats().size, 0u);
+}
+
+TEST(Planner, SmallShapesAvoidTheParallelKernel) {
+  const Planner p(builtin_profile(), true, 8);
+  const Plan small = p.plan({OpClass::RowSearch, 8, 8, 1});
+  EXPECT_NE(small.algo, Algo::Parallel)
+      << "an 8x8 single-row query should not pay pool dispatch";
+  const Plan big = p.plan({OpClass::RowSearch, 1u << 14, 1u << 14, 1u << 10});
+  EXPECT_EQ(big.algo, Algo::Parallel);
+  EXPECT_GE(big.grain, 1u);
+}
+
+TEST(Planner, PredictedCostMonotoneInOperandSize) {
+  // The admission number must grow (weakly) with the operand, per op
+  // class -- quantized planning must not invert sizes.
+  const Planner p(builtin_profile(), true, 8);
+  for (const OpClass op : kOps) {
+    double prev = -1;
+    for (std::size_t k = 0; k <= 14; ++k) {
+      const std::size_t n = std::size_t{1} << k;
+      const double us = p.predicted_us({op, n, n, 1});
+      EXPECT_GE(us, prev) << op_class_name(op) << " n=" << n;
+      EXPECT_GT(us, 0) << op_class_name(op) << " n=" << n;
+      prev = us;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Profile persistence
+// ---------------------------------------------------------------------------
+
+TEST(Profile, JsonRoundTripPreservesEveryConstant) {
+  CostProfile prof;
+  prof.id = "round-trip";
+  prof.brute_ns_per_cell = 1.25;
+  prof.seq_ns_per_probe = 7.5;
+  prof.edit_ns_per_cell = 2.75;
+  prof.par_ns_per_work = 3.5;
+  prof.par_dispatch_ns = 12345;
+  prof.par_depth_ns = 99;
+  const CostProfile back = profile_from_json(profile_to_json(prof), "mem");
+  EXPECT_EQ(back.id, prof.id);
+  EXPECT_DOUBLE_EQ(back.brute_ns_per_cell, prof.brute_ns_per_cell);
+  EXPECT_DOUBLE_EQ(back.seq_ns_per_probe, prof.seq_ns_per_probe);
+  EXPECT_DOUBLE_EQ(back.edit_ns_per_cell, prof.edit_ns_per_cell);
+  EXPECT_DOUBLE_EQ(back.par_ns_per_work, prof.par_ns_per_work);
+  EXPECT_DOUBLE_EQ(back.par_dispatch_ns, prof.par_dispatch_ns);
+  EXPECT_DOUBLE_EQ(back.par_depth_ns, prof.par_depth_ns);
+}
+
+TEST(Profile, SaveLoadRoundTripThroughDisk) {
+  const std::string path = testing::TempDir() + "pmonge_profile_rt.json";
+  CostProfile prof;
+  prof.id = "disk-rt";
+  prof.par_dispatch_ns = 4242;
+  save_profile(prof, path);
+  const CostProfile back = load_profile(path);
+  EXPECT_EQ(back.id, "disk-rt");
+  EXPECT_DOUBLE_EQ(back.par_dispatch_ns, 4242);
+  std::remove(path.c_str());
+}
+
+void expect_throw_quoting(const std::string& path, const std::string& text,
+                          bool write_file) {
+  if (write_file) {
+    std::ofstream(path) << text;
+  }
+  try {
+    load_profile(path);
+    FAIL() << "load_profile(" << path << ") did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error must quote the offending path, got: " << e.what();
+  }
+  if (write_file) std::remove(path.c_str());
+}
+
+TEST(Profile, LoadFailsLoudlyQuotingThePath) {
+  const std::string dir = testing::TempDir();
+  // Missing file.
+  expect_throw_quoting(dir + "pmonge_no_such_profile.json", "", false);
+  // Unparseable JSON.
+  expect_throw_quoting(dir + "pmonge_corrupt.json", "{not json", true);
+  // Wrong format tag.
+  expect_throw_quoting(
+      dir + "pmonge_wrong_format.json",
+      R"({"format":"something-else","id":"x","brute_ns_per_cell":1,)"
+      R"("seq_ns_per_probe":1,"edit_ns_per_cell":1,"par_ns_per_work":1,)"
+      R"("par_dispatch_ns":1,"par_depth_ns":1})",
+      true);
+  // Non-positive constant.
+  expect_throw_quoting(
+      dir + "pmonge_nonpositive.json",
+      R"({"format":"pmonge-profile-v1","id":"x","brute_ns_per_cell":0,)"
+      R"("seq_ns_per_probe":1,"edit_ns_per_cell":1,"par_ns_per_work":1,)"
+      R"("par_dispatch_ns":1,"par_depth_ns":1})",
+      true);
+}
+
+TEST(Profile, CheckedInSampleProfileLoads) {
+  // The profile CI serves with must stay valid.
+  const CostProfile prof =
+      load_profile(std::string(PMONGE_SOURCE_DIR) +
+                   "/profiles/sample_profile.json");
+  EXPECT_FALSE(prof.id.empty());
+  EXPECT_GT(prof.brute_ns_per_cell, 0);
+  EXPECT_GT(prof.par_ns_per_work, 0);
+}
+
+}  // namespace
+}  // namespace pmonge::plan
+
+namespace pmonge::serve {
+namespace {
+
+struct ThreadGuard {
+  std::size_t saved = exec::num_threads();
+  ~ThreadGuard() { exec::set_num_threads(saved); }
+};
+
+std::string reg_random(Service& svc, std::size_t rows, std::size_t cols,
+                       std::uint64_t seed, const char* kind = "monge") {
+  Json::Obj o;
+  o["op"] = "register_random";
+  o["rows"] = rows;
+  o["cols"] = cols;
+  o["seed"] = seed;
+  o["kind"] = kind;
+  return svc.request(Json(std::move(o)).dump());
+}
+
+// ---------------------------------------------------------------------------
+// explain
+// ---------------------------------------------------------------------------
+
+TEST(Explain, WellFormedForEveryQueryOp) {
+  Service svc;
+  reg_random(svc, 12, 10, 1);                      // id 0: monge
+  reg_random(svc, 10, 10, 2, "inverse_monge");     // id 1
+  reg_random(svc, 12, 12, 3, "staircase");         // id 2
+  reg_random(svc, 8, 6, 4);                        // id 3: tube d
+  reg_random(svc, 6, 8, 5);                        // id 4: tube e
+  const struct {
+    const char* op_class;
+    std::string query;
+  } cases[] = {
+      {"row_search", R"({"op":"rowmin","array":0,"row":3})"},
+      {"row_search", R"({"op":"rowmax","array":1,"row":2})"},
+      {"row_search", R"({"op":"staircase_rowmin","array":2,"row":5})"},
+      {"row_search", R"({"op":"staircase_rowmax","array":2,"row":1})"},
+      {"tube_search", R"({"op":"tubemax","d":3,"e":4,"i":1,"k":2})"},
+      {"tube_search", R"({"op":"tubemin","d":3,"e":4,"i":0,"k":0})"},
+      {"edit_distance", R"({"op":"string_edit","x":"kitten","y":"sitting"})"},
+      {"geometric_app",
+       R"({"op":"largest_rect","points":[[0,0],[9,9],[2,7],[6,3]]})"},
+      {"geometric_app",
+       R"({"op":"empty_rect","bound":[0,0,10,10],)"
+       R"("points":[[2,2],[5,7],[8,3]]})"},
+      {"geometric_app",
+       R"({"op":"polygon_neighbors","kind":"nearest_visible",)"
+       R"("p":[[0,0],[1,0],[1,1],[0,1]],"q":[[3,0],[4,0],[4,1],[3,1]]})"},
+  };
+  for (const auto& c : cases) {
+    const std::string resp =
+        svc.request(std::string(R"({"op":"explain","query":)") + c.query +
+                    "}");
+    const Json j = Json::parse(resp);
+    ASSERT_TRUE(j.at("ok").as_bool()) << resp;
+    const Json& r = j.at("result");
+    const Json& pl = r.at("plan");
+    const std::string algo = pl.at("algo").as_string();
+    EXPECT_TRUE(algo == "brute" || algo == "sequential" ||
+                algo == "parallel")
+        << resp;
+    EXPECT_GE(pl.at("grain").as_int(), 0) << resp;
+    EXPECT_GT(pl.at("predicted_us").as_double(), 0) << resp;
+    EXPECT_FALSE(pl.at("profile").as_string().empty()) << resp;
+    EXPECT_TRUE(pl.at("planner_enabled").as_bool()) << resp;
+    EXPECT_EQ(pl.at("shape").at("op_class").as_string(), c.op_class) << resp;
+    EXPECT_GE(r.at("actual_us").as_double(), 0) << resp;
+    ASSERT_TRUE(r.at("outcome").at("ok").as_bool()) << resp;
+    // The inner bytes explain reports are the same bytes the plain query
+    // produces (modulo the response envelope).
+    const Json plain = Json::parse(svc.request(c.query));
+    EXPECT_EQ(r.at("outcome").at("result").dump(),
+              plain.at("result").dump())
+        << c.query;
+  }
+}
+
+TEST(Explain, RejectsMalformedWrappers) {
+  Service svc;
+  EXPECT_NE(svc.request(R"({"op":"explain"})").find("bad_request"),
+            std::string::npos);
+  EXPECT_NE(svc.request(R"({"op":"explain","query":42})").find("bad_request"),
+            std::string::npos);
+  EXPECT_NE(svc.request(R"({"op":"explain","query":{"op":"explain"}})")
+                .find("bad_request"),
+            std::string::npos);
+  EXPECT_NE(svc.request(R"({"op":"explain","query":{"op":"stats"}})")
+                .find("bad_request"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Differential bit-identity across the planner's choice space
+// ---------------------------------------------------------------------------
+
+/// Shapes chosen to straddle the par:: small-n serial cutoff
+/// (kSerialCutoffCells cells) and the cost-model crossovers.
+std::vector<std::string> straddle_workload(Service& svc) {
+  static_assert(par::kSerialCutoffCells == 4096,
+                "shape choices below assume the 4096-cell cutoff");
+  std::vector<std::string> out;
+  out.push_back(reg_random(svc, 63, 65, 31));          // 4095 cells: below
+  out.push_back(reg_random(svc, 64, 64, 32));          // 4096: at the cutoff
+  out.push_back(reg_random(svc, 66, 64, 33));          // 4224: above
+  out.push_back(reg_random(svc, 63, 65, 34, "staircase"));
+  out.push_back(reg_random(svc, 66, 64, 35, "staircase"));
+  out.push_back(reg_random(svc, 64, 8, 36));           // tube d (id 5)
+  out.push_back(reg_random(svc, 8, 64, 37));           // tube e (id 6)
+  std::vector<std::string> queries;
+  for (int row = 0; row < 8; ++row) {
+    for (int a = 0; a < 3; ++a) {
+      queries.push_back(R"({"op":"rowmin","array":)" + std::to_string(a) +
+                        R"(,"row":)" + std::to_string(row * 7) + "}");
+      queries.push_back(R"({"op":"rowmax","array":)" + std::to_string(a) +
+                        R"(,"row":)" + std::to_string(row * 7 + 1) + "}");
+    }
+    queries.push_back(R"({"op":"staircase_rowmin","array":3,"row":)" +
+                      std::to_string(row * 7) + "}");
+    queries.push_back(R"({"op":"staircase_rowmax","array":4,"row":)" +
+                      std::to_string(row * 7 + 2) + "}");
+    queries.push_back(R"({"op":"tubemax","d":5,"e":6,"i":)" +
+                      std::to_string(row * 7) + R"(,"k":)" +
+                      std::to_string(row * 9 % 64) + "}");
+  }
+  queries.push_back(
+      R"({"op":"string_edit","x":"abcdefghabcdefgh","y":"azcedfghazcedfgh"})");
+  svc.pause();
+  std::vector<std::future<std::string>> futs;
+  for (const auto& q : queries) futs.push_back(svc.submit(q));
+  svc.resume();
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
+}
+
+TEST(Differential, PlanChoiceInvisibleAcrossCutoffStraddlingShapes) {
+  ThreadGuard tg;
+  exec::set_num_threads(4);
+  plan::CostProfile serial = plan::builtin_profile();
+  serial.id = "force-serial";
+  serial.par_dispatch_ns = 1e12;
+  plan::CostProfile parallel = plan::builtin_profile();
+  parallel.id = "force-parallel";
+  parallel.par_dispatch_ns = 0;
+  parallel.par_ns_per_work = 1e-6;
+  parallel.par_depth_ns = 0;
+
+  std::vector<std::vector<std::string>> runs;
+  for (int cfg = 0; cfg < 4; ++cfg) {
+    ServiceOptions opts;
+    opts.cache_capacity = 0;  // every answer recomputed, nothing memoized
+    if (cfg == 0) opts.planner = false;
+    if (cfg == 1) opts.profile = plan::builtin_profile();
+    if (cfg == 2) opts.profile = serial;
+    if (cfg == 3) opts.profile = parallel;
+    Service svc(opts);
+    runs.push_back(straddle_workload(svc));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i], runs[0]) << "config " << i << " diverged";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planner surface in stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, ReportsPlannerStateAndChoices) {
+  Service svc;
+  reg_random(svc, 8, 8, 1);
+  svc.request(R"({"op":"rowmin","array":0,"row":0})");
+  const Json stats =
+      Json::parse(svc.request(R"({"op":"stats"})")).at("result");
+  const Json& planner = stats.at("planner");
+  EXPECT_TRUE(planner.at("enabled").as_bool());
+  EXPECT_EQ(planner.at("profile").as_string(), "builtin-v1");
+  EXPECT_GE(planner.at("plan_cache_misses").as_int(), 1);
+  const Json& plans = stats.at("plans");
+  // An 8x8 single-row query is far below every parallel crossover.
+  EXPECT_GE(plans.at("brute").as_int() + plans.at("sequential").as_int(), 1);
+  EXPECT_EQ(plans.at("parallel").as_int(), 0);
+  EXPECT_GE(stats.at("cache").at("invalidations").as_int(), 0);
+}
+
+}  // namespace
+}  // namespace pmonge::serve

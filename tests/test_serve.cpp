@@ -15,6 +15,7 @@
 #include "exec/thread_pool.hpp"
 #include "monge/brute.hpp"
 #include "monge/generators.hpp"
+#include "plan/cost_model.hpp"
 #include "serve/admission.hpp"
 #include "serve/cache.hpp"
 #include "serve/json.hpp"
@@ -94,6 +95,22 @@ TEST(Cache, PutRefreshesExistingKey) {
   cache.put("c", "3");   // evicts b
   EXPECT_EQ(cache.get("a"), "1'");
   EXPECT_FALSE(cache.get("b").has_value());
+}
+
+TEST(Cache, TagInvalidationDropsExactlyTaggedEntries) {
+  ShardedLruCache cache(16, 2);
+  cache.put_tagged("q0", "r0", {7});
+  cache.put_tagged("q1", "r1", {7, 9});
+  cache.put_tagged("q2", "r2", {9});
+  cache.put("q3", "r3");  // untagged: immune to invalidation
+  EXPECT_EQ(cache.invalidate_tag(7), 2u);  // q0 and q1
+  EXPECT_FALSE(cache.get("q0").has_value());
+  EXPECT_FALSE(cache.get("q1").has_value());
+  EXPECT_EQ(cache.get("q2"), "r2");
+  EXPECT_EQ(cache.get("q3"), "r3");
+  EXPECT_EQ(cache.invalidate_tag(7), 0u);  // idempotent
+  EXPECT_EQ(cache.invalidate_tag(9), 1u);  // q2 only
+  EXPECT_EQ(cache.stats().invalidations, 3u);
 }
 
 TEST(Cache, ZeroCapacityDisables) {
@@ -290,12 +307,30 @@ TEST(Service, UnregisterForgets) {
   const Json r =
       Json::parse(svc.request(R"({"op":"unregister","array":0})"));
   EXPECT_TRUE(r.at("result").at("removed").as_bool());
-  // Cached signature from before the unregister must not resurrect it...
-  // actually it may: the cache is keyed by request signature, not registry
-  // state.  Use a different row so the lookup misses the cache.
+  EXPECT_GE(r.at("result").at("cache_invalidated").as_int(), 1);
+  // Regression: the cached signature from before the unregister must NOT
+  // resurrect the array -- unregister invalidates every cache entry tagged
+  // with the array id, so the exact same request misses and fails fresh.
+  EXPECT_NE(svc.request(R"({"op":"rowmin","array":0,"row":0})")
+                .find("unknown_array"),
+            std::string::npos);
   EXPECT_NE(svc.request(R"({"op":"rowmin","array":0,"row":1})")
                 .find("unknown_array"),
             std::string::npos);
+}
+
+TEST(Service, UnregisterInvalidatesTubeOperandEntries) {
+  Service svc;
+  // Compatible pair: d is 8x6, e is 6x8 (tube needs d.cols == e.rows).
+  ASSERT_EQ(result_int(reg_random(svc, 8, 6, 21), "array"), 0);
+  ASSERT_EQ(result_int(reg_random(svc, 6, 8, 22), "array"), 1);
+  const std::string q = R"({"op":"tubemax","d":0,"e":1,"i":2,"k":3})";
+  EXPECT_NE(svc.request(q).find("\"ok\":true"), std::string::npos);
+  // Unregistering EITHER operand must kill the cached composite answer.
+  const Json r = Json::parse(svc.request(R"({"op":"unregister","array":1})"));
+  EXPECT_TRUE(r.at("result").at("removed").as_bool());
+  EXPECT_GE(r.at("result").at("cache_invalidated").as_int(), 1);
+  EXPECT_NE(svc.request(q).find("unknown_array"), std::string::npos);
 }
 
 /// Run a mixed workload and return all response lines, in request order.
@@ -344,22 +379,43 @@ std::vector<std::string> run_workload(Service& svc) {
 TEST(Service, ResponsesBitIdenticalAcrossThreadsBatchingAndCache) {
   ThreadGuard tg;
   std::vector<std::vector<std::string>> runs;
+  // Profile 0: builtin.  Profile 1: parallel dispatch priced absurdly high,
+  // so the planner routes everything to brute / sequential.  Profile 2:
+  // parallel priced near free, so the planner always picks the kernel.
+  // Responses must not depend on which variant actually ran.
+  plan::CostProfile profiles[3] = {plan::builtin_profile(),
+                                   plan::builtin_profile(),
+                                   plan::builtin_profile()};
+  profiles[1].id = "test-all-serial";
+  profiles[1].par_dispatch_ns = 1e12;
+  profiles[2].id = "test-all-parallel";
+  profiles[2].par_dispatch_ns = 0;
+  profiles[2].par_ns_per_work = 1e-6;
+  profiles[2].par_depth_ns = 0;
   struct Config {
     std::size_t threads;
     bool coalesce;
     std::size_t cache;
+    bool planner;
+    int profile;
   };
   const Config configs[] = {
-      {1, true, 4096}, {8, true, 4096}, {8, false, 4096}, {8, true, 0},
+      {1, true, 4096, true, 0},  {8, true, 4096, true, 0},
+      {8, false, 4096, true, 0}, {8, true, 0, true, 0},
+      {8, true, 4096, false, 0}, {8, true, 4096, true, 1},
+      {8, true, 4096, true, 2},  {8, false, 0, true, 1},
   };
   for (const Config& c : configs) {
     exec::set_num_threads(c.threads);
     ServiceOptions opts;
     opts.coalesce = c.coalesce;
     opts.cache_capacity = c.cache;
+    opts.planner = c.planner;
+    opts.profile = profiles[c.profile];
     Service svc(opts);
     runs.push_back(run_workload(svc));
-    // Warm-cache second pass inside the same service: must match too.
+    // Warm second pass inside the same service: the result cache and the
+    // plan cache are both hot now, and the bytes must still match.
     Service svc2(opts);
     auto first = run_workload(svc2);
     EXPECT_EQ(first, runs.back());
@@ -423,12 +479,32 @@ TEST(Service, ExpiredDeadlinesAnswerDeadlineExpired) {
   Service svc(opts);
   reg_random(svc, 8, 8, 1);
   svc.pause();
+  // The deadline is generous versus the predicted cost (so admission lets
+  // it through) but expires while the worker is paused.
   auto fut = svc.submit(
-      R"({"op":"rowmin","array":0,"row":0,"deadline_ms":0})");
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      R"({"op":"rowmin","array":0,"row":0,"deadline_ms":20})");
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
   svc.resume();
   const std::string resp = fut.get();
   EXPECT_NE(resp.find("deadline_expired"), std::string::npos) << resp;
+}
+
+TEST(Service, UnmeetableDeadlinesRejectedAtAdmission) {
+  ServiceOptions opts;
+  opts.cache_capacity = 0;
+  Service svc(opts);
+  reg_random(svc, 64, 64, 1);
+  svc.pause();  // the worker never runs: rejection must happen before it
+  auto fut = svc.submit(
+      R"({"op":"rowmin","array":0,"row":0,"deadline_ms":0})");
+  const std::string resp = fut.get();  // resolves while still paused
+  EXPECT_NE(resp.find("deadline_unmeetable"), std::string::npos) << resp;
+  const Json stats =
+      Json::parse(svc.request(R"({"op":"stats"})")).at("result");
+  const Json& rowmin = stats.at("endpoints").at("rowmin");
+  EXPECT_EQ(rowmin.at("unmeetable").as_int(), 1);
+  EXPECT_EQ(rowmin.at("requests").as_int(), 0);  // never entered the engine
+  svc.resume();
 }
 
 TEST(Service, ConcurrentSubmittersGetConsistentAnswers) {
@@ -463,7 +539,11 @@ TEST(Service, ConcurrentSubmittersGetConsistentAnswers) {
 }
 
 TEST(Service, StatsReportsCountersAndQueue) {
-  Service svc;
+  // Planner off: the fixed parallel dispatch always charges PRAM work,
+  // which is what the `charged` section of stats reports.
+  ServiceOptions opts;
+  opts.planner = false;
+  Service svc(opts);
   reg_random(svc, 8, 8, 1);
   svc.request(R"({"op":"rowmin","array":0,"row":0})");
   svc.request(R"({"op":"rowmin","array":0,"row":0})");
