@@ -14,6 +14,11 @@
 //   --reps N            median-of-N repetitions       (default 5)
 //   --warmup N          throwaway runs per config     (default 1)
 //   --json[=PATH]       machine-readable records      (BENCH_plan.json)
+//   --trace-out[=PATH]  Chrome trace of the traced run (trace_plan.json)
+//
+// A tracing-overhead gate rides along at the largest size: planned
+// stream re-timed with span tracing on must cost <= 5% extra
+// (`trace_overhead_pct` in the JSON records; exit 1 above the bar).
 #include <cstdint>
 #include <future>
 #include <iostream>
@@ -120,6 +125,46 @@ int main(int argc, char** argv) {
             << (small_n_regression ? "REGRESSION: planner slower at small n"
                                    : "planner no slower at small n")
             << "\n";
+
+  pmonge::bench::print_header("tracing overhead: planned stream, largest n");
+  bool trace_regression = false;
+  {
+    const std::string reg = "{\"op\":\"register_random\",\"rows\":" +
+                            std::to_string(max_n) + ",\"cols\":" +
+                            std::to_string(max_n) + ",\"seed\":7}";
+    const auto stream = make_stream(max_n, queries);
+    ServiceOptions opts;
+    opts.cache_capacity = 0;
+    opts.queue_capacity = queries + 16;
+    Service svc(opts);
+    svc.request(reg);
+    // Two drains per timed sample: the differential gate needs samples
+    // long enough that a descheduling blip cannot read as overhead.
+    const auto t = pmonge::bench::trace_overhead(
+        [&] {
+          run_stream(svc, stream);
+          run_stream(svc, stream);
+        },
+        warmup, reps);
+    trace_regression = t.pct > 5.0;
+    std::cout << "untraced " << pmonge::Table::fixed(t.off_ms, 2)
+              << " ms, traced " << pmonge::Table::fixed(t.on_ms, 2)
+              << " ms: overhead " << pmonge::Table::fixed(t.pct, 2) << "% "
+              << (trace_regression ? "REGRESSION (> 5%)" : "(<= 5% ok)")
+              << "\n";
+    pmonge::serve::Json::Obj r;
+    r["op"] = "rowmin";
+    r["rows"] = max_n;
+    r["cols"] = max_n;
+    r["batch"] = queries;
+    r["config"] = "tracing overhead";
+    r["median_us"] = t.on_ms * 1000.0;
+    r["baseline_us"] = t.off_ms * 1000.0;
+    r["trace_overhead_pct"] = t.pct;
+    r["profile"] = planner.profile().id;
+    records.add(std::move(r));
+    pmonge::bench::write_trace_out(cli, "trace_plan.json");
+  }
   records.write();
-  return small_n_regression ? 1 : 0;
+  return (small_n_regression || trace_regression) ? 1 : 0;
 }

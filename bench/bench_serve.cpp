@@ -10,9 +10,14 @@
 //
 //   --rows N --cols N   registered array size       (default 256 x 256)
 //   --queries N         stream length               (default 512)
+// A tracing-overhead gate rides along: the batched stream re-timed with
+// span tracing off vs on; the run fails (exit 1) if tracing on costs
+// more than 5% (the `trace_overhead_pct` record in the JSON output).
+//
 //   --reps N            median-of-N repetitions     (default 5)
 //   --warmup N          throwaway runs per config   (default 1)
 //   --json[=PATH]       machine-readable records    (BENCH_serve.json)
+//   --trace-out[=PATH]  Chrome trace of the traced run (trace_serve.json)
 #include <cstdint>
 #include <future>
 #include <iostream>
@@ -119,10 +124,47 @@ int main(int argc, char** argv) {
     records.add(std::move(r));
   }
   table.print(std::cout);
-  records.write();
   std::cout << "batched/unbatched median: "
             << pmonge::Table::fixed(batched_ms / unbatched_ms, 3)
             << " (<= 1.0 means batching wins)\n";
+
+  pmonge::bench::print_header("tracing overhead: spans off vs on");
+  bool trace_regression = false;
+  {
+    ServiceOptions topts;
+    topts.coalesce = true;
+    topts.cache_capacity = 0;
+    topts.queue_capacity = queries + 16;
+    Service tsvc(topts);
+    tsvc.request(reg);
+    // Two drains per timed sample: the differential gate needs samples
+    // long enough that a descheduling blip cannot read as overhead.
+    const auto t = pmonge::bench::trace_overhead(
+        [&] {
+          run_stream(tsvc, stream);
+          run_stream(tsvc, stream);
+        },
+        warmup, reps);
+    trace_regression = t.pct > 5.0;
+    std::cout << "untraced " << pmonge::Table::fixed(t.off_ms, 2)
+              << " ms, traced " << pmonge::Table::fixed(t.on_ms, 2)
+              << " ms: overhead " << pmonge::Table::fixed(t.pct, 2) << "% "
+              << (trace_regression ? "REGRESSION (> 5%)" : "(<= 5% ok)")
+              << "\n";
+    pmonge::serve::Json::Obj r;
+    r["op"] = "rowmin";
+    r["rows"] = rows;
+    r["cols"] = cols;
+    r["batch"] = queries;
+    r["config"] = "tracing overhead";
+    r["median_us"] = t.on_ms * 1000.0;
+    r["baseline_us"] = t.off_ms * 1000.0;
+    r["trace_overhead_pct"] = t.pct;
+    r["profile"] = topts.profile.id;
+    records.add(std::move(r));
+    pmonge::bench::write_trace_out(cli, "trace_serve.json");
+  }
+  records.write();
 
   pmonge::bench::print_header("serve overload: bounded queue rejects");
   ServiceOptions opts;
@@ -147,5 +189,5 @@ int main(int argc, char** argv) {
   std::cout << "submitted " << stream.size() << " into capacity "
             << opts.queue_capacity << ": " << ok << " answered, " << rejected
             << " rejected `overloaded`, 0 dropped\n";
-  return 0;
+  return trace_regression ? 1 : 0;
 }

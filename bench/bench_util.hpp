@@ -11,6 +11,8 @@
 
 #include <fstream>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "serve/json.hpp"
 #include "support/cli.hpp"
 #include "support/series.hpp"
@@ -78,6 +80,88 @@ inline std::string shape_cell(const std::vector<SeriesPoint>& pts,
 
 inline void print_header(const std::string& title) {
   std::cout << "\n==== " << title << " ====\n";
+}
+
+// ---------------------------------------------------------------------------
+// Tracing overhead: the observability acceptance gate
+// ---------------------------------------------------------------------------
+
+struct TraceOverhead {
+  double off_ms = 0;
+  double on_ms = 0;
+  double pct = 0;  // traced slowdown in percent; benches fail above 5
+};
+
+/// Time `body` with span tracing off vs on (obs::set_enabled), leaving
+/// tracing off afterwards.  The spans the traced runs captured stay
+/// buffered so the caller can export them with write_trace_out().
+///
+/// Statistics are chosen for a *differential* measurement on a shared
+/// machine, where ambient load swamps a few-percent signal:
+///   * off/on reps run as adjacent pairs, so slow drift (thermal, page
+///     cache, neighbors) hits both sides of a pair about equally;
+///   * the order within each pair alternates, cancelling any systematic
+///     first-vs-second-run bias (cache residue, frequency ramp);
+///   * the reported overhead is the *median of per-pair deltas* over
+///     the min off time -- a paired test: one descheduled pair moves
+///     the median a rank, where it would wreck a mean or an unpaired
+///     min-vs-min comparison.
+/// The pair count is floored at 9: this is a pass/fail gate, not a
+/// table row, and a handful of pairs cannot clear the noise floor.
+template <class F>
+TraceOverhead trace_overhead(F&& body, std::size_t warmup, std::size_t reps) {
+  using Clock = std::chrono::steady_clock;
+  if (reps < 9) reps = 9;
+  const auto timed = [&body](bool traced) {
+    obs::set_enabled(traced);
+    const auto t0 = Clock::now();
+    body();
+    const auto t1 = Clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+  obs::set_enabled(false);
+  for (std::size_t i = 0; i < warmup; ++i) body();
+  obs::set_enabled(true);
+  for (std::size_t i = 0; i < warmup; ++i) body();
+  std::vector<double> deltas;
+  deltas.reserve(reps);
+  double off_min = 0, on_min = 0;
+  for (std::size_t i = 0; i < reps; ++i) {
+    const bool off_first = i % 2 == 0;
+    const double a = timed(!off_first);
+    const double b = timed(off_first);
+    const double off = off_first ? a : b;
+    const double on = off_first ? b : a;
+    deltas.push_back(on - off);
+    if (i == 0 || off < off_min) off_min = off;
+    if (i == 0 || on < on_min) on_min = on;
+  }
+  obs::set_enabled(false);
+  std::sort(deltas.begin(), deltas.end());
+  const double med = reps % 2 == 1
+                         ? deltas[reps / 2]
+                         : (deltas[reps / 2 - 1] + deltas[reps / 2]) / 2.0;
+  TraceOverhead t;
+  t.off_ms = off_min;
+  t.on_ms = on_min;
+  t.pct = off_min > 0 ? med / off_min * 100.0 : 0.0;
+  return t;
+}
+
+/// `--trace-out[=PATH]` smoke: drain the buffered spans and write them
+/// as Chrome trace-event JSON (load in ui.perfetto.dev).
+inline void write_trace_out(const Cli& cli, const std::string& default_path) {
+  if (!cli.has("trace-out")) return;
+  const std::string v = cli.get("trace-out", "1");
+  const std::string path = v == "1" ? default_path : v;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << obs::chrome_trace_json(obs::collect()).dump() << "\n";
+  out.flush();
+  if (out) {
+    std::cout << "wrote Chrome trace to " << path << "\n";
+  } else {
+    std::cerr << "error: cannot write " << path << "\n";
+  }
 }
 
 // ---------------------------------------------------------------------------

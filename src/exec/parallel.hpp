@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace pmonge::exec {
 
@@ -96,6 +97,8 @@ void parallel_tasks(std::size_t n, Body&& body) {
 /// the caller, so jobs that must not poison their siblings catch
 /// internally.
 inline void parallel_jobs(std::span<const std::function<void()>> jobs) {
+  obs::Span span("exec.jobs");
+  span.set_arg("jobs", jobs.size());
   parallel_tasks(jobs.size(), [&](std::size_t i) { jobs[i](); });
 }
 

@@ -1,7 +1,10 @@
 #include "exec/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "support/env.hpp"
 
 namespace pmonge::exec {
@@ -12,6 +15,12 @@ namespace {
 thread_local std::size_t t_nest_depth = 0;
 thread_local std::size_t t_serial_depth = 0;
 thread_local std::size_t t_grain_override = 0;
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point t0) {
+  const auto d = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+  return d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count());
+}
 }  // namespace
 
 std::size_t nest_depth() { return t_nest_depth; }
@@ -31,9 +40,10 @@ GrainScope::~GrainScope() { t_grain_override = saved_; }
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t want = threads == 0 ? 1 : threads;
   workers_.reserve(want - 1);
+  lane_counters_ = std::make_unique<LaneCounters[]>(want);  // >= workers
   try {
     for (std::size_t i = 0; i + 1 < want; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   } catch (const std::system_error&) {
     // Thread creation unavailable (restricted sandbox, resource limits):
@@ -57,6 +67,8 @@ void ThreadPool::run_batch(std::size_t nchunks,
   b->ctx = ctx;
   b->nchunks = nchunks;
   b->depth = t_nest_depth + 1;
+  b->trace_id = obs::current_trace_id();
+  batches_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     queue_.push_back(b);
@@ -65,11 +77,19 @@ void ThreadPool::run_batch(std::size_t nchunks,
 
   // Submit-and-participate: drain our own batch, then wait for chunks
   // claimed by workers to retire.
-  work_on(*b);
-  {
-    std::unique_lock<std::mutex> lk(b->mu);
-    b->cv.wait(lk, [&] { return b->done.load(std::memory_order_acquire) ==
-                                b->nchunks; });
+  work_on(*b, external_);
+  if (b->done.load(std::memory_order_acquire) != b->nchunks) {
+    // Stall: workers still hold claimed chunks.  The acquire load above
+    // (or the one in the predicate) pairs with the workers' acq_rel
+    // done-increment, so chunk effects are visible once we pass.
+    submit_waits_.fetch_add(1, std::memory_order_relaxed);
+    const auto w0 = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> lk(b->mu);
+      b->cv.wait(lk, [&] { return b->done.load(std::memory_order_acquire) ==
+                                  b->nchunks; });
+    }
+    submit_wait_us_.fetch_add(us_since(w0), std::memory_order_relaxed);
   }
   {
     // The batch may still sit in the queue if every chunk was claimed
@@ -80,15 +100,22 @@ void ThreadPool::run_batch(std::size_t nchunks,
   if (b->err) std::rethrow_exception(b->err);
 }
 
-void ThreadPool::work_on(Batch& b) {
+void ThreadPool::work_on(Batch& b, LaneCounters& lane) {
   struct DepthGuard {
     std::size_t saved;
     ~DepthGuard() { t_nest_depth = saved; }
   } guard{t_nest_depth};
   t_nest_depth = b.depth;
+  // Chunk bodies run under the submitter's trace id so kernel-internal
+  // spans on pool workers stay attributed to the originating request.
+  obs::TraceContext tctx(b.trace_id);
+  obs::Span span("exec.chunks");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t claimed = 0;
   for (;;) {
     const std::size_t c = b.next.fetch_add(1, std::memory_order_relaxed);
-    if (c >= b.nchunks) return;
+    if (c >= b.nchunks) break;
+    ++claimed;
     if (!b.cancelled.load(std::memory_order_relaxed)) {
       try {
         b.invoke(b.ctx, c);
@@ -105,9 +132,18 @@ void ThreadPool::work_on(Batch& b) {
       b.cv.notify_all();
     }
   }
+  if (claimed == 0) {
+    span.cancel();  // lost the claim race entirely; nothing to show
+    return;
+  }
+  lane.busy_us.fetch_add(us_since(t0), std::memory_order_relaxed);
+  lane.chunks.fetch_add(claimed, std::memory_order_relaxed);
+  span.set_arg("chunks", claimed);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  obs::set_lane_name("pool-worker-" + std::to_string(index));
+  LaneCounters& lane = lane_counters_[index];
   for (;;) {
     std::shared_ptr<Batch> b;
     {
@@ -124,8 +160,26 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) continue;
       b = queue_.front();
     }
-    work_on(*b);
+    work_on(*b, lane);
   }
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.threads = threads();
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.submit_waits = submit_waits_.load(std::memory_order_relaxed);
+  s.submit_wait_us = submit_wait_us_.load(std::memory_order_relaxed);
+  s.workers.resize(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    s.workers[i].busy_us =
+        lane_counters_[i].busy_us.load(std::memory_order_relaxed);
+    s.workers[i].chunks =
+        lane_counters_[i].chunks.load(std::memory_order_relaxed);
+  }
+  s.external.busy_us = external_.busy_us.load(std::memory_order_relaxed);
+  s.external.chunks = external_.chunks.load(std::memory_order_relaxed);
+  return s;
 }
 
 namespace {
@@ -157,6 +211,8 @@ ThreadPool& pool() {
 }
 
 std::size_t num_threads() { return pool().threads(); }
+
+PoolStats pool_stats() { return pool().stats(); }
 
 void set_num_threads(std::size_t threads) {
   std::lock_guard<std::mutex> lk(g_pool_mu);

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <memory>
@@ -45,6 +46,7 @@ struct Batch {
   void* ctx = nullptr;
   std::size_t nchunks = 0;
   std::size_t depth = 0;  // fork-nesting depth of the chunk bodies
+  std::uint64_t trace_id = 0;  // submitter's obs trace id (0 = none)
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<bool> cancelled{false};
@@ -54,6 +56,23 @@ struct Batch {
 };
 
 }  // namespace detail
+
+/// Engine profiling snapshot (always on: two clock reads per batch
+/// participation, counter updates are relaxed atomics).  Surfaced by the
+/// serve `stats` endpoint and obs/prometheus.
+struct PoolStats {
+  struct Lane {
+    std::uint64_t busy_us = 0;  // time spent inside work_on with chunks
+    std::uint64_t chunks = 0;   // chunks this lane claimed
+  };
+  std::size_t threads = 1;           // lanes incl. submitters
+  std::uint64_t batches = 0;         // batches submitted to the pool
+  std::uint64_t submit_waits = 0;    // submitters that had to block on
+                                     // worker-claimed chunks
+  std::uint64_t submit_wait_us = 0;  // total time submitters blocked
+  std::vector<Lane> workers;         // one per pool worker thread
+  Lane external;                     // all submitting threads combined
+};
 
 class ThreadPool {
  public:
@@ -86,13 +105,29 @@ class ThreadPool {
     run_batch(nchunks, trampoline, std::addressof(chunk));
   }
 
+  /// Profiling counters (see PoolStats).  Safe to call concurrently with
+  /// running batches; a snapshot may miss in-flight increments.
+  PoolStats stats() const;
+
  private:
+  /// Per-lane profiling counters, cache-line padded: each lane writes
+  /// only its own.
+  struct alignas(64) LaneCounters {
+    std::atomic<std::uint64_t> busy_us{0};
+    std::atomic<std::uint64_t> chunks{0};
+  };
+
   void run_batch(std::size_t nchunks, void (*invoke)(void*, std::size_t),
                  void* ctx);
-  void work_on(detail::Batch& b);
-  void worker_loop();
+  void work_on(detail::Batch& b, LaneCounters& lane);
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<LaneCounters[]> lane_counters_;  // one per worker
+  LaneCounters external_;  // submitting threads (shared slot)
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> submit_waits_{0};
+  std::atomic<std::uint64_t> submit_wait_us_{0};
   std::deque<std::shared_ptr<detail::Batch>> queue_;
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -105,6 +140,9 @@ ThreadPool& pool();
 
 /// Execution lanes of the global engine (>= 1).
 std::size_t num_threads();
+
+/// Profiling counters of the global engine.
+PoolStats pool_stats();
 
 /// Rebuild the global engine with `threads` lanes (>= 1).  Intended for
 /// tests and benchmarks only; must not be called while engine work is in

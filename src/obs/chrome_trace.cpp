@@ -1,0 +1,76 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pmonge::obs {
+
+using serve::Json;
+
+serve::Json chrome_trace_json(const Snapshot& snap) {
+  Json::Arr events;
+  events.reserve(snap.spans.size() + snap.lanes.size() + 1);
+
+  // Lane metadata first: one thread_name event per known lane (named
+  // threads appear even before their first span -- a quiet pool worker
+  // still shows as an empty track).
+  for (std::size_t lane = 0; lane < snap.lanes.size(); ++lane) {
+    Json::Obj meta;
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = static_cast<std::int64_t>(lane);
+    meta["name"] = "thread_name";
+    Json::Obj args;
+    args["name"] = snap.lanes[lane].empty()
+                       ? "thread-" + std::to_string(lane)
+                       : snap.lanes[lane];
+    meta["args"] = Json(std::move(args));
+    events.emplace_back(std::move(meta));
+  }
+
+  std::vector<std::size_t> order(snap.spans.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return snap.spans[a].start_us < snap.spans[b].start_us;
+                   });
+
+  for (const std::size_t i : order) {
+    const SpanRecord& s = snap.spans[i];
+    Json::Obj e;
+    e["ph"] = "X";
+    e["pid"] = 1;
+    e["tid"] = static_cast<std::int64_t>(s.lane);
+    e["cat"] = "pmonge";
+    e["name"] = s.name == nullptr ? "?" : s.name;
+    e["ts"] = static_cast<std::int64_t>(s.start_us);
+    e["dur"] = static_cast<std::int64_t>(s.dur_us);
+    Json::Obj args;
+    if (s.trace_id != 0) {
+      args["trace_id"] = static_cast<std::int64_t>(s.trace_id);
+    }
+    if (s.detail[0] != '\0') args["detail"] = std::string(s.detail);
+    if (s.arg_name != nullptr) {
+      args[s.arg_name] = static_cast<std::int64_t>(s.arg);
+    }
+    if (s.charged_time != 0 || s.charged_work != 0) {
+      args["charged_time"] = static_cast<std::int64_t>(s.charged_time);
+      args["charged_work"] = static_cast<std::int64_t>(s.charged_work);
+    }
+    if (!args.empty()) e["args"] = Json(std::move(args));
+    events.emplace_back(std::move(e));
+  }
+
+  Json::Obj other;
+  other["dropped_spans"] = static_cast<std::int64_t>(snap.dropped);
+  other["enabled"] = enabled();
+  other["span_count"] = static_cast<std::int64_t>(snap.spans.size());
+
+  Json::Obj doc;
+  doc["traceEvents"] = Json(std::move(events));
+  doc["displayTimeUnit"] = "ms";
+  doc["otherData"] = Json(std::move(other));
+  return Json(std::move(doc));
+}
+
+}  // namespace pmonge::obs

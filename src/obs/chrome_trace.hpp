@@ -1,0 +1,22 @@
+// Chrome trace-event export: render a trace Snapshot as the JSON object
+// format consumed by Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Every span becomes one complete ("ph":"X") event on its thread lane;
+// lanes carry thread_name metadata ("serve-worker", "pool-worker-N"),
+// so the exec pool's workers render as separate tracks.  Span args carry
+// the trace id, the dynamic detail label, the numeric argument, and the
+// charged PRAM time/work where recorded -- predicted-vs-measured side by
+// side in the Perfetto args panel.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "serve/json.hpp"
+
+namespace pmonge::obs {
+
+/// The full trace document: {"traceEvents": [...], "displayTimeUnit":
+/// "ms", "otherData": {"dropped_spans": N, "enabled": bool}}.  Events
+/// are sorted by start time; metadata events name every known lane.
+serve::Json chrome_trace_json(const Snapshot& snap);
+
+}  // namespace pmonge::obs

@@ -1,0 +1,23 @@
+// Prometheus text exposition (format 0.0.4) of the service's `stats`
+// snapshot: the same numbers the JSON form carries, rendered as
+// scrape-ready `# HELP` / `# TYPE` / sample lines so a Prometheus agent
+// can tail `{"op":"stats","format":"prometheus"}` responses.
+//
+// Latency histograms come out as real Prometheus histograms: the
+// LogHistogram's power-of-two buckets become cumulative `_bucket{le=...}`
+// series with `le` at each bucket's inclusive upper edge (2^b - 1),
+// plus `_sum` / `_count`.
+#pragma once
+
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace pmonge::obs {
+
+/// Render a `stats` JSON snapshot (Service::stats_json() shape) as
+/// Prometheus text.  Unknown or absent sections are skipped, never
+/// fatal; each metric family appears exactly once.
+std::string prometheus_text(const serve::Json& stats);
+
+}  // namespace pmonge::obs

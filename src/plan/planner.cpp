@@ -1,6 +1,9 @@
 #include "plan/planner.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/trace.hpp"
 
 namespace pmonge::plan {
 
@@ -11,6 +14,8 @@ Planner::Planner(CostProfile profile, bool enabled, std::size_t threads)
       cache_(std::make_unique<PlanCache>()) {}
 
 Plan Planner::plan(const QueryShape& shape) const {
+  obs::Span span("plan.select");
+  span.set_detail(op_class_name(shape.op));
   if (!enabled_) {
     // Fixed dispatch: the pre-planner behavior, still priced so the
     // explain op and admission control stay meaningful.
@@ -20,10 +25,17 @@ Plan Planner::plan(const QueryShape& shape) const {
     p.rep = shape;
     p.predicted_us =
         predicted_ns(profile_, Algo::Parallel, shape, threads_) / 1000.0;
+    span.set_arg("predicted_us",
+                 static_cast<std::uint64_t>(std::llround(
+                     p.predicted_us < 0 ? 0.0 : p.predicted_us)));
     return p;
   }
-  return cache_->get_or_plan(shape,
-                             [this](const QueryShape& rep) { return plan_at(rep); });
+  Plan p = cache_->get_or_plan(
+      shape, [this](const QueryShape& rep) { return plan_at(rep); });
+  span.set_arg("predicted_us",
+               static_cast<std::uint64_t>(
+                   std::llround(p.predicted_us < 0 ? 0.0 : p.predicted_us)));
+  return p;
 }
 
 Plan Planner::plan_at(const QueryShape& rep) const {

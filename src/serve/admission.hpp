@@ -59,6 +59,7 @@ class AdmissionQueue {
       }
       q_.push_back(Entry{std::move(item), ServeClock::now(), deadline});
       ++admitted_;
+      if (q_.size() > high_water_) high_water_ = q_.size();
     }
     cv_.notify_one();
     return AdmitResult::Admitted;
@@ -113,6 +114,11 @@ class AdmissionQueue {
     std::lock_guard<std::mutex> lock(mu_);
     return overloaded_;
   }
+  /// Deepest the queue has ever been (standing depth, not rejects).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
 
  private:
   struct Entry {
@@ -141,6 +147,7 @@ class AdmissionQueue {
   bool stopped_ = false;
   std::uint64_t admitted_ = 0;
   std::uint64_t overloaded_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace pmonge::serve

@@ -13,6 +13,7 @@
 #include "exec/parallel.hpp"
 #include "geom/geometry.hpp"
 #include "monge/staircase_seq.hpp"
+#include "obs/trace.hpp"
 #include "par/monge_rowminima.hpp"
 #include "par/staircase_rowminima.hpp"
 #include "par/tube_maxima.hpp"
@@ -32,6 +33,16 @@ void count_plan(ServiceMetrics& metrics, plan::Algo algo) {
     case plan::Algo::Sequential: metrics.plans_sequential().add(); break;
     case plan::Algo::Parallel: metrics.plans_parallel().add(); break;
   }
+}
+
+/// Close out a parallel-path kernel: fold the machine's charged PRAM
+/// costs into the service totals and onto the kernel span, so exported
+/// traces show predicted cost next to measured wall time.
+void charge(ServiceMetrics& metrics, const pram::Machine& mach,
+            obs::Span& span) {
+  metrics.charged_time().add(mach.meter().time);
+  metrics.charged_work().add(mach.meter().work);
+  span.set_charged(mach.meter().time, mach.meter().work);
 }
 
 void set_error(BatchOutcome& out, std::string why) {
@@ -138,6 +149,8 @@ void run_row_group(std::vector<Member>& members,
 
   // Every variant below returns the *leftmost* optimum of each queried
   // row, so the plan choice never shows in the response bytes.
+  obs::Span kspan("serve.kernel");
+  kspan.set_detail(plan::algo_name(pl.algo));
   const bool inverse = entry->kind == ArrayEntry::Kind::InverseMonge;
   const auto& a = entry->data;
   std::vector<RowOpt<std::int64_t>> res;
@@ -176,8 +189,7 @@ void run_row_group(std::vector<Member>& members,
     } else {
       res = par::inverse_monge_row_maxima_rows(mach, a, rows);
     }
-    metrics.charged_time().add(mach.meter().time);
-    metrics.charged_work().add(mach.meter().work);
+    charge(metrics, mach, kspan);
   }
   for (auto& [row, m] : live) {
     const auto it = std::lower_bound(rows.begin(), rows.end(), row);
@@ -210,6 +222,8 @@ void run_staircase_group(std::vector<Member>& members,
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
 
+  obs::Span kspan("serve.kernel");
+  kspan.set_detail(plan::algo_name(pl.algo));
   monge::StaircaseArray<monge::DenseArray<std::int64_t>> s(entry->data,
                                                            entry->frontier);
   std::vector<RowOpt<std::int64_t>> res;
@@ -237,8 +251,7 @@ void run_staircase_group(std::vector<Member>& members,
     exec::GrainScope grain(pl.grain);
     res = maxima ? par::staircase_row_maxima_rows(mach, s, rows)
                  : par::staircase_row_minima_rows(mach, s, rows);
-    metrics.charged_time().add(mach.meter().time);
-    metrics.charged_work().add(mach.meter().work);
+    charge(metrics, mach, kspan);
   }
   for (auto& [row, m] : live) {
     const auto it = std::lower_bound(rows.begin(), rows.end(), row);
@@ -275,6 +288,8 @@ void run_tube_group(std::vector<Member>& members,
     }
   }
   if (live.empty()) return;
+  obs::Span kspan("serve.kernel");
+  kspan.set_detail(plan::algo_name(pl.algo));
   if (pl.algo != plan::Algo::Parallel) {
     // Per-point scan over the middle index, smallest j on ties --
     // exactly the tube_*_brute convention of monge/composite.hpp.
@@ -301,8 +316,7 @@ void run_tube_group(std::vector<Member>& members,
   exec::GrainScope grain(pl.grain);
   auto res = maxima ? par::tube_maxima_points(mach, d->data, e->data, qs)
                     : par::tube_minima_points(mach, d->data, e->data, qs);
-  metrics.charged_time().add(mach.meter().time);
-  metrics.charged_work().add(mach.meter().work);
+  charge(metrics, mach, kspan);
   for (std::size_t t = 0; t < live.size(); ++t) {
     Json::Obj o;
     o["value"] = res[t].value;
@@ -330,6 +344,8 @@ void run_edit_group(std::vector<Member>& members, pram::Model model,
     }
   }
   if (live.empty()) return;
+  obs::Span kspan("serve.kernel");
+  kspan.set_detail(plan::algo_name(pl.algo));
   std::vector<std::int64_t> costs;
   if (pl.algo != plan::Algo::Parallel) {
     costs.reserve(jobs.size());
@@ -339,8 +355,7 @@ void run_edit_group(std::vector<Member>& members, pram::Model model,
   } else {
     pram::Machine mach(model);
     costs = apps::edit_distance_par_batch(mach, jobs);
-    metrics.charged_time().add(mach.meter().time);
-    metrics.charged_work().add(mach.meter().work);
+    charge(metrics, mach, kspan);
   }
   for (std::size_t t = 0; t < live.size(); ++t) {
     Json::Obj o;
@@ -371,10 +386,11 @@ void run_largest_rect_group(std::vector<Member>& members, pram::Model model,
     }
   }
   if (live.empty()) return;
+  obs::Span kspan("serve.kernel");
+  kspan.set_detail("parallel");
   pram::Machine mach(model);
   const auto best = apps::largest_rect_par_batch(mach, instances);
-  metrics.charged_time().add(mach.meter().time);
-  metrics.charged_work().add(mach.meter().work);
+  charge(metrics, mach, kspan);
   for (std::size_t t = 0; t < live.size(); ++t) {
     Json::Obj o;
     o["area"] = best[t].area;
@@ -386,6 +402,8 @@ void run_largest_rect_group(std::vector<Member>& members, pram::Model model,
 
 void run_empty_rect_group(std::vector<Member>& members, pram::Model model,
                           ServiceMetrics& metrics) {
+  obs::Span kspan("serve.kernel");
+  kspan.set_detail("parallel");
   pram::Machine mach(model);
   mach.parallel_branches(members.size(), [&](std::size_t t,
                                              pram::Machine& sub) {
@@ -416,8 +434,7 @@ void run_empty_rect_group(std::vector<Member>& members, pram::Model model,
       set_error(*m.out, std::string("internal: ") + e.what());
     }
   });
-  metrics.charged_time().add(mach.meter().time);
-  metrics.charged_work().add(mach.meter().work);
+  charge(metrics, mach, kspan);
 }
 
 apps::NeighborKind parse_neighbor_kind(const std::string& s) {
@@ -430,6 +447,8 @@ apps::NeighborKind parse_neighbor_kind(const std::string& s) {
 
 void run_polygon_group(std::vector<Member>& members, pram::Model model,
                        ServiceMetrics& metrics) {
+  obs::Span kspan("serve.kernel");
+  kspan.set_detail("parallel");
   pram::Machine mach(model);
   mach.parallel_branches(members.size(), [&](std::size_t t,
                                              pram::Machine& sub) {
@@ -468,8 +487,7 @@ void run_polygon_group(std::vector<Member>& members, pram::Model model,
       set_error(*m.out, std::string("internal: ") + e.what());
     }
   });
-  metrics.charged_time().add(mach.meter().time);
-  metrics.charged_work().add(mach.meter().work);
+  charge(metrics, mach, kspan);
 }
 
 /// Ids of the registered arrays `req` reads -- the cache-entry tags that
@@ -536,6 +554,13 @@ plan::QueryShape query_shape(const Request& req, Registry& reg) {
 
 void Batcher::dispatch_group(std::vector<Member>& ms) {
   const std::string& op = ms.front().req->op;
+  // Group-level spans (and the plan/kernel spans they enclose) carry a
+  // representative trace id: the first member's.  Per-request intervals
+  // are separately visible as serve.request spans.
+  obs::TraceContext tctx(ms.front().req->trace_id);
+  obs::Span span("serve.group");
+  span.set_detail(op);
+  span.set_arg("members", ms.size());
   try {
     if (op == "rowmin" || op == "rowmax") {
       auto entry = resolve(registry_, ms.front().req->body, "array",

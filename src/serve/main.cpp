@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <mutex>
@@ -23,6 +24,8 @@
 #include <thread>
 
 #include "exec/thread_pool.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "plan/calibrate.hpp"
 #include "pram/machine.hpp"
 #include "serve/service.hpp"
@@ -67,21 +70,29 @@ int main(int argc, char** argv) {
         "  --no-plan        disable the execution planner (fixed parallel\n"
         "                   dispatch, no deadline_unmeetable admission)\n"
         "  --calibrate PATH run the calibration microbenchmarks, write the\n"
-        "                   fitted profile to PATH, and exit");
+        "                   fitted profile to PATH, and exit\n"
+        "  --trace-out PATH enable span tracing (as if PMONGE_TRACE=1) and\n"
+        "                   write the Chrome trace-event JSON of the whole\n"
+        "                   run to PATH at exit (load in ui.perfetto.dev)");
     return 0;
   }
 
   // Touch the engine knobs eagerly: the pool initializes lazily, so a
-  // malformed PMONGE_THREADS / PMONGE_GRAIN would otherwise surface only
-  // on the first query large enough to fan out -- or never, for a
-  // service that happens to stay serial.  Fail loudly before serving.
+  // malformed PMONGE_THREADS / PMONGE_GRAIN / PMONGE_TRACE would
+  // otherwise surface only on the first query large enough to fan out --
+  // or never, for a service that happens to stay serial.  Fail loudly
+  // before serving.
   try {
     pmonge::exec::num_threads();
     pmonge::exec::default_grain();
+    pmonge::obs::enabled();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pmonge-serve: %s\n", e.what());
     return 2;
   }
+
+  const std::string trace_out = cli.get("trace-out", "");
+  if (!trace_out.empty()) pmonge::obs::set_enabled(true);
 
   if (cli.has("calibrate")) {
     const std::string path = cli.get("calibrate", "");
@@ -174,5 +185,21 @@ int main(int argc, char** argv) {
   }
 
   reader.join();
+
+  if (!trace_out.empty()) {
+    // Everything still buffered across every thread's ring, as one
+    // Perfetto-loadable document.  A path that cannot be written is a
+    // hard error: the user asked for the trace.
+    const std::string doc =
+        pmonge::obs::chrome_trace_json(pmonge::obs::collect()).dump();
+    std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
+    out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "pmonge-serve: cannot write trace to \"%s\"\n",
+                   trace_out.c_str());
+      return 2;
+    }
+  }
   return 0;
 }

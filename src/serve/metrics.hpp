@@ -12,6 +12,7 @@
 // docs/serving.md).
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <string>
@@ -81,6 +82,18 @@ class ServiceMetrics {
       lat["sum_us"] = m->latency_us.sum();
       lat["p50_us_bound"] = m->latency_us.quantile_bound(0.50);
       lat["p99_us_bound"] = m->latency_us.quantile_bound(0.99);
+      // Sparse bucket dump [[bit_width, count], ...] so the Prometheus
+      // exposition (obs/prometheus.cpp) can render a real histogram.
+      Json::Arr buckets;
+      const auto counts = m->latency_us.buckets();
+      for (std::size_t b = 0; b < counts.size(); ++b) {
+        if (counts[b] == 0) continue;
+        Json::Arr pair;
+        pair.emplace_back(static_cast<std::int64_t>(b));
+        pair.emplace_back(counts[b]);
+        buckets.emplace_back(std::move(pair));
+      }
+      lat["buckets"] = Json(std::move(buckets));
       e["latency"] = Json(std::move(lat));
       endpoints[op] = Json(std::move(e));
     }

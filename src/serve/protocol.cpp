@@ -21,7 +21,7 @@ bool is_query_op(const std::string& op) {
 bool is_control_op(const std::string& op) {
   return op == "register_dense" || op == "register_staircase" ||
          op == "register_random" || op == "unregister" || op == "stats" ||
-         op == "ping";
+         op == "ping" || op == "trace";
 }
 
 Request parse_request(const std::string& line) {
@@ -38,10 +38,16 @@ Request parse_request(const std::string& line) {
       throw JsonError("bad_request: deadline_ms must be >= 0");
     }
   }
+  if (const Json* tid = req.body.find("trace_id")) {
+    const std::int64_t t = tid->as_int();
+    if (t <= 0) throw JsonError("bad_request: trace_id must be positive");
+    req.trace_id = static_cast<std::uint64_t>(t);
+  }
   if (is_query_op(req.op)) {
     Json::Obj sig = req.body.obj();
     sig.erase("id");
     sig.erase("deadline_ms");
+    sig.erase("trace_id");
     req.signature = Json(std::move(sig)).dump();
   }
   return req;

@@ -43,6 +43,12 @@ struct Request {
   Json body;              // the full parsed request object
   std::string signature;  // canonical cache key (query ops)
   std::int64_t deadline_ms = -1;  // relative; -1 = none given
+  // Observability envelope field (like "id": stripped from the
+  // signature, never part of the cached question).  Client-supplied via
+  // "trace_id", or minted at admission when tracing is on; query ops
+  // carry it through the batcher into exec spans.  Never echoed in
+  // responses, so response bytes stay identical tracing on or off.
+  std::uint64_t trace_id = 0;
 };
 
 /// Query-plane op names (also the metrics vocabulary).

@@ -7,6 +7,9 @@
 #include "exec/thread_pool.hpp"
 #include "monge/generators.hpp"
 #include "monge/validate.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 
 namespace pmonge::serve {
@@ -20,8 +23,9 @@ std::uint64_t us_between(ServeClock::time_point a, ServeClock::time_point b) {
 
 std::vector<std::string> all_ops() {
   std::vector<std::string> ops = query_ops();
-  for (const char* op : {"register_dense", "register_staircase",
-                         "register_random", "unregister", "stats", "ping"}) {
+  for (const char* op :
+       {"register_dense", "register_staircase", "register_random",
+        "unregister", "stats", "ping", "trace"}) {
     ops.emplace_back(op);
   }
   return ops;
@@ -49,6 +53,7 @@ void Service::pause() { queue_->pause(true); }
 void Service::resume() { queue_->pause(false); }
 
 std::future<std::string> Service::submit(std::string line) {
+  obs::Span span("serve.admit");
   std::promise<std::string> promise;
   std::future<std::string> fut = promise.get_future();
 
@@ -65,6 +70,9 @@ std::future<std::string> Service::submit(std::string line) {
     return fut;
   }
 
+  span.set_detail(req.op);
+  span.set_trace(req.trace_id);
+
   if (!is_query_op(req.op)) {
     EndpointMetrics& em = metrics_.endpoint(req.op);
     em.requests.add();
@@ -74,6 +82,14 @@ std::future<std::string> Service::submit(std::string line) {
     promise.set_value(std::move(resp));
     return fut;
   }
+
+  // Query ops: mint a trace id when tracing is on and the client did not
+  // supply one.  The id rides the Request (envelope field), never the
+  // response, so answer bytes stay identical tracing on or off.
+  if (req.trace_id == 0 && obs::enabled()) {
+    req.trace_id = obs::new_trace_id();
+  }
+  span.set_trace(req.trace_id);
 
   std::int64_t deadline_ms = req.deadline_ms;
   if (deadline_ms < 0) deadline_ms = opts_.default_deadline_ms;
@@ -132,10 +148,39 @@ std::vector<std::string> Service::request_batch(
   return out;
 }
 
+namespace {
+
+/// One "serve.request" span covering a request's whole queue-to-answer
+/// interval, reconstructed from the admission timestamps (the RAII Span
+/// cannot straddle threads).  `done` is the same timestamp the latency
+/// histogram records, so the traced path adds no clock read of its own;
+/// the records accumulate per worker batch and land via one emit_all()
+/// -- per-request emission is the one tracing cost that scales with
+/// throughput, and the 5% bench_serve overhead gate watches it.
+obs::SpanRecord request_span(const Request& r, ServeClock::time_point enqueued,
+                             ServeClock::time_point done) {
+  obs::SpanRecord rec;
+  rec.name = "serve.request";
+  rec.trace_id = r.trace_id;
+  rec.start_us = obs::to_trace_us(enqueued);
+  rec.dur_us = us_between(enqueued, done);
+  rec.set_detail(r.op);
+  return rec;
+}
+
+}  // namespace
+
 void Service::worker_loop() {
+  obs::set_lane_name("serve-worker");
   while (true) {
     auto batch = queue_->pop_batch(opts_.batch_max);
     if (batch.empty()) return;  // stopped and drained
+
+    obs::Span span("serve.batch");
+    span.set_arg("requests", batch.size());
+    std::vector<obs::SpanRecord> req_spans;
+    const bool traced = obs::enabled();
+    if (traced) req_spans.reserve(batch.size());
 
     metrics_.batches().add();
     metrics_.batch_size().record(batch.size());
@@ -150,7 +195,9 @@ void Service::worker_loop() {
         EndpointMetrics& em = metrics_.endpoint(r.op);
         em.expired.add();
         em.errors.add();
-        em.latency_us.record(us_between(batch[i].enqueued, ServeClock::now()));
+        const auto done = ServeClock::now();
+        em.latency_us.record(us_between(batch[i].enqueued, done));
+        if (traced) obs::emit(request_span(r, batch[i].enqueued, done));
         batch[i].item.promise.set_value(
             make_error_response(r.id, "deadline_expired"));
       } else {
@@ -165,20 +212,28 @@ void Service::worker_loop() {
     for (const Request* r : live) reqs.push_back(*r);
     const auto outcomes = batcher_.run(reqs);
 
+    std::vector<std::string> responses;
+    responses.reserve(outcomes.size());
     for (std::size_t t = 0; t < outcomes.size(); ++t) {
       auto& slot = batch[live_idx[t]];
       const Request& r = slot.item.req;
       EndpointMetrics& em = metrics_.endpoint(r.op);
-      std::string resp;
       if (outcomes[t].ok) {
         em.ok.add();
-        resp = make_ok_response(r.id, outcomes[t].result);
+        responses.push_back(make_ok_response(r.id, outcomes[t].result));
       } else {
         em.errors.add();
-        resp = make_error_response(r.id, outcomes[t].error);
+        responses.push_back(make_error_response(r.id, outcomes[t].error));
       }
-      em.latency_us.record(us_between(slot.enqueued, ServeClock::now()));
-      slot.item.promise.set_value(std::move(resp));
+      const auto done = ServeClock::now();
+      em.latency_us.record(us_between(slot.enqueued, done));
+      if (traced) req_spans.push_back(request_span(r, slot.enqueued, done));
+    }
+    // Spans land before promises resolve: a client that saw its answer
+    // can immediately `trace` and find its serve.request span.
+    obs::emit_all(req_spans);
+    for (std::size_t t = 0; t < outcomes.size(); ++t) {
+      batch[live_idx[t]].item.promise.set_value(std::move(responses[t]));
     }
   }
 }
@@ -223,7 +278,29 @@ std::string Service::handle_control(const Request& req) {
     }
 
     if (req.op == "stats") {
+      if (const Json* fmt = req.body.find("format")) {
+        const std::string& f = fmt->as_string();
+        if (f == "prometheus") {
+          // Text exposition rides inside the JSON envelope; a scraper
+          // peels result.text.  The snapshot is the same either way.
+          Json::Obj o;
+          o["format"] = "prometheus";
+          o["text"] = obs::prometheus_text(stats_json());
+          return make_ok_response(req.id, Json(std::move(o)));
+        }
+        if (f != "json") {
+          return make_error_response(
+              req.id, "bad_request: unknown stats format \"" + f + "\"");
+        }
+      }
       return make_ok_response(req.id, stats_json());
+    }
+
+    if (req.op == "trace") {
+      // Drain every thread's span ring into one Chrome trace-event
+      // document (loadable in Perfetto).  Draining is destructive by
+      // design: each span is reported exactly once.
+      return make_ok_response(req.id, obs::chrome_trace_json(obs::collect()));
     }
 
     if (req.op == "unregister") {
@@ -369,12 +446,36 @@ Json Service::stats_json() const {
   Json::Obj queue;
   queue["capacity"] = queue_->capacity();
   queue["depth"] = queue_->size();
+  queue["high_water"] = queue_->high_water();
   queue["admitted"] = queue_->admitted();
   queue["overloaded"] = queue_->overloaded();
   out["queue"] = Json(std::move(queue));
   Json::Obj reg;
   reg["arrays"] = registry_.count();
   out["registry"] = Json(std::move(reg));
+  const exec::PoolStats es = exec::pool_stats();
+  Json::Obj ex;
+  ex["threads"] = static_cast<std::int64_t>(es.threads);
+  ex["batches"] = es.batches;
+  ex["submit_waits"] = es.submit_waits;
+  ex["submit_wait_us"] = es.submit_wait_us;
+  Json::Arr workers;
+  for (const auto& lane : es.workers) {
+    Json::Obj wk;
+    wk["busy_us"] = lane.busy_us;
+    wk["chunks"] = lane.chunks;
+    workers.emplace_back(std::move(wk));
+  }
+  ex["workers"] = Json(std::move(workers));
+  Json::Obj external;
+  external["busy_us"] = es.external.busy_us;
+  external["chunks"] = es.external.chunks;
+  ex["external"] = Json(std::move(external));
+  out["exec"] = Json(std::move(ex));
+  Json::Obj trace;
+  trace["enabled"] = obs::enabled();
+  trace["dropped"] = obs::dropped_total();
+  out["trace"] = Json(std::move(trace));
   return Json(std::move(out));
 }
 

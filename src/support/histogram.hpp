@@ -49,9 +49,24 @@ class LogHistogram {
   }
 
   /// Upper bound of the bucket containing the q-quantile (q in [0, 1]) of
-  /// the samples recorded so far; 0 when empty.  Resolution is a factor
-  /// of two -- that is the deal with log buckets, and it is plenty for
-  /// latency monitoring.
+  /// the samples recorded so far; 0 when empty.
+  ///
+  /// Semantics, precisely: q is clamped to [0, 1] and mapped to the rank
+  /// floor(q * (count - 1)) -- the index the quantile sample would have
+  /// in sorted order.  The return value is the *inclusive upper edge* of
+  /// the bucket holding that rank: bucket b spans [2^(b-1), 2^b), so the
+  /// bound is 2^b - 1 (bucket 0, holding only the sample 0, reports 0;
+  /// bucket 64 reports ~0).  There is no intra-bucket interpolation: the
+  /// recorded samples within a bucket are not kept, only the count, so
+  /// any point estimate inside the bucket would be invented precision.
+  /// The true quantile is guaranteed <= the reported bound and > half of
+  /// it.  Consequences worth knowing (and unit-tested):
+  ///   * empty histogram -> 0 for every q;
+  ///   * a single sample -> every q maps to rank 0, so every q reports
+  ///     that sample's bucket edge (e.g. one sample of 100 -> 127);
+  ///   * all samples in one bucket -> q = 0 and q = 1 agree exactly.
+  /// Resolution is a factor of two -- that is the deal with log buckets,
+  /// and it is plenty for latency monitoring.
   std::uint64_t quantile_bound(double q) const {
     const std::uint64_t c = count();
     if (c == 0) return 0;

@@ -108,6 +108,56 @@ TEST(Histogram, CounterAndLogHistogram) {
   EXPECT_GE(h.quantile_bound(1.0), 1000u);
 }
 
+TEST(Histogram, QuantileBoundEmpty) {
+  support::LogHistogram h;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile_bound(q), 0u) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileBoundSingleSample) {
+  // One sample: every q maps to rank 0, so every q reports the sample's
+  // bucket edge.  100 has bit width 7 -> bucket [64, 128) -> bound 127.
+  support::LogHistogram h;
+  h.record(100);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile_bound(q), 127u) << "q=" << q;
+  }
+  // A single zero sample sits in bucket 0, whose edge is 0.
+  support::LogHistogram z;
+  z.record(0);
+  EXPECT_EQ(z.quantile_bound(0.5), 0u);
+}
+
+TEST(Histogram, QuantileBoundAllSameBucket) {
+  // Every sample in [64, 128): q = 0 and q = 1 must agree exactly on the
+  // shared bucket edge 127.
+  support::LogHistogram h;
+  for (std::uint64_t v = 64; v < 128; ++v) h.record(v);
+  EXPECT_EQ(h.quantile_bound(0.0), 127u);
+  EXPECT_EQ(h.quantile_bound(0.5), 127u);
+  EXPECT_EQ(h.quantile_bound(1.0), 127u);
+  // Out-of-range q clamps rather than misbehaving.
+  EXPECT_EQ(h.quantile_bound(-1.0), 127u);
+  EXPECT_EQ(h.quantile_bound(2.0), 127u);
+}
+
+TEST(Histogram, SparseBucketsMatchRecords) {
+  support::LogHistogram h;
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1
+  h.record(100);  // bucket 7
+  h.record(100);
+  const auto b = h.buckets();
+  ASSERT_EQ(b.size(), support::LogHistogram::kBuckets);
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[7], 2u);
+  std::uint64_t total = 0;
+  for (const auto n : b) total += n;
+  EXPECT_EQ(total, h.count());
+}
+
 TEST(CeilLg, SmallValues) {
   EXPECT_EQ(ceil_lg(1), 0);
   EXPECT_EQ(ceil_lg(2), 1);
