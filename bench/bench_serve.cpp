@@ -13,6 +13,10 @@
 // A tracing-overhead gate rides along: the batched stream re-timed with
 // span tracing off vs on; the run fails (exit 1) if tracing on costs
 // more than 5% (the `trace_overhead_pct` record in the JSON output).
+// A fault-layer gate does the same for src/fault: disarmed vs armed at
+// rate 0 -- the full decision path on every site with nothing ever
+// firing, i.e. an upper bound on what a fault-capable binary costs when
+// faults are off.  Budget: 2% (`fault_overhead_pct`), exit 1 above.
 //
 //   --reps N            median-of-N repetitions     (default 5)
 //   --warmup N          throwaway runs per config   (default 1)
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "fault/fault.hpp"
 #include "serve/service.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -164,6 +169,51 @@ int main(int argc, char** argv) {
     records.add(std::move(r));
     pmonge::bench::write_trace_out(cli, "trace_serve.json");
   }
+
+  pmonge::bench::print_header("fault-layer overhead: disarmed vs armed@rate 0");
+  bool fault_regression = false;
+  {
+    ServiceOptions fopts;
+    fopts.coalesce = true;
+    fopts.cache_capacity = 0;
+    fopts.queue_capacity = queries + 16;
+    Service fsvc(fopts);
+    fsvc.request(reg);
+    // Armed at rate 0: armed() is true so every site runs its full
+    // should_fire() decision (mask check, counter bump, splitmix64 mix),
+    // but nothing ever fires -- the worst case for a production binary
+    // with the fault layer compiled in and switched off.
+    const auto f = pmonge::bench::paired_overhead(
+        [&] {
+          run_stream(fsvc, stream);
+          run_stream(fsvc, stream);
+        },
+        [](bool on) {
+          if (on) {
+            pmonge::fault::arm(7, 0, pmonge::fault::kAllSites);
+          } else {
+            pmonge::fault::disarm();
+          }
+        },
+        warmup, reps);
+    fault_regression = f.pct > 2.0;
+    std::cout << "disarmed " << pmonge::Table::fixed(f.off_ms, 2)
+              << " ms, armed@0 " << pmonge::Table::fixed(f.on_ms, 2)
+              << " ms: overhead " << pmonge::Table::fixed(f.pct, 2) << "% "
+              << (fault_regression ? "REGRESSION (> 2%)" : "(<= 2% ok)")
+              << "\n";
+    pmonge::serve::Json::Obj r;
+    r["op"] = "rowmin";
+    r["rows"] = rows;
+    r["cols"] = cols;
+    r["batch"] = queries;
+    r["config"] = "fault-layer overhead";
+    r["median_us"] = f.on_ms * 1000.0;
+    r["baseline_us"] = f.off_ms * 1000.0;
+    r["fault_overhead_pct"] = f.pct;
+    r["profile"] = fopts.profile.id;
+    records.add(std::move(r));
+  }
   records.write();
 
   pmonge::bench::print_header("serve overload: bounded queue rejects");
@@ -189,5 +239,5 @@ int main(int argc, char** argv) {
   std::cout << "submitted " << stream.size() << " into capacity "
             << opts.queue_capacity << ": " << ok << " answered, " << rejected
             << " rejected `overloaded`, 0 dropped\n";
-  return trace_regression ? 1 : 0;
+  return trace_regression || fault_regression ? 1 : 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <fstream>
@@ -83,18 +84,41 @@ inline void print_header(const std::string& title) {
 }
 
 // ---------------------------------------------------------------------------
-// Tracing overhead: the observability acceptance gate
+// Reproduction lines: every seeded failure prints one of these
 // ---------------------------------------------------------------------------
 
-struct TraceOverhead {
+/// The copy-pastable reproduction command a seeded test failure leads
+/// with: "<env assignments> ctest -R <regex> --output-on-failure".  One
+/// line, shell-ready -- a failure report a human cannot paste back into
+/// a terminal is a failure report that does not get reproduced.
+inline std::string repro_line(const std::string& env_assignments,
+                              const std::string& ctest_regex) {
+  std::string out;
+  if (!env_assignments.empty()) out += env_assignments + " ";
+  out += "ctest -R " + ctest_regex + " --output-on-failure";
+  return out;
+}
+
+/// The fuzz suites' reproduction command (tests/test_fuzz.cpp): pins the
+/// failing seed and the thread count, which together fix the run.
+inline std::string fuzz_repro(std::uint64_t seed, std::size_t threads) {
+  return repro_line("PMONGE_FUZZ_SEED=" + std::to_string(seed) +
+                        " PMONGE_THREADS=" + std::to_string(threads),
+                    "fuzz");
+}
+
+// ---------------------------------------------------------------------------
+// Paired differential overhead: the trace and fault acceptance gates
+// ---------------------------------------------------------------------------
+
+struct PairedOverhead {
   double off_ms = 0;
   double on_ms = 0;
-  double pct = 0;  // traced slowdown in percent; benches fail above 5
+  double pct = 0;  // "on" slowdown in percent of the "off" baseline
 };
 
-/// Time `body` with span tracing off vs on (obs::set_enabled), leaving
-/// tracing off afterwards.  The spans the traced runs captured stay
-/// buffered so the caller can export them with write_trace_out().
+/// Time `body` with some binary state off vs on (`set_state(bool)`),
+/// leaving it off afterwards.
 ///
 /// Statistics are chosen for a *differential* measurement on a shared
 /// machine, where ambient load swamps a few-percent signal:
@@ -108,20 +132,21 @@ struct TraceOverhead {
 ///     min-vs-min comparison.
 /// The pair count is floored at 9: this is a pass/fail gate, not a
 /// table row, and a handful of pairs cannot clear the noise floor.
-template <class F>
-TraceOverhead trace_overhead(F&& body, std::size_t warmup, std::size_t reps) {
+template <class F, class S>
+PairedOverhead paired_overhead(F&& body, S&& set_state, std::size_t warmup,
+                               std::size_t reps) {
   using Clock = std::chrono::steady_clock;
   if (reps < 9) reps = 9;
-  const auto timed = [&body](bool traced) {
-    obs::set_enabled(traced);
+  const auto timed = [&body, &set_state](bool on) {
+    set_state(on);
     const auto t0 = Clock::now();
     body();
     const auto t1 = Clock::now();
     return std::chrono::duration<double, std::milli>(t1 - t0).count();
   };
-  obs::set_enabled(false);
+  set_state(false);
   for (std::size_t i = 0; i < warmup; ++i) body();
-  obs::set_enabled(true);
+  set_state(true);
   for (std::size_t i = 0; i < warmup; ++i) body();
   std::vector<double> deltas;
   deltas.reserve(reps);
@@ -136,16 +161,27 @@ TraceOverhead trace_overhead(F&& body, std::size_t warmup, std::size_t reps) {
     if (i == 0 || off < off_min) off_min = off;
     if (i == 0 || on < on_min) on_min = on;
   }
-  obs::set_enabled(false);
+  set_state(false);
   std::sort(deltas.begin(), deltas.end());
   const double med = reps % 2 == 1
                          ? deltas[reps / 2]
                          : (deltas[reps / 2 - 1] + deltas[reps / 2]) / 2.0;
-  TraceOverhead t;
+  PairedOverhead t;
   t.off_ms = off_min;
   t.on_ms = on_min;
   t.pct = off_min > 0 ? med / off_min * 100.0 : 0.0;
   return t;
+}
+
+using TraceOverhead = PairedOverhead;
+
+/// Time `body` with span tracing off vs on (obs::set_enabled), leaving
+/// tracing off afterwards.  The spans the traced runs captured stay
+/// buffered so the caller can export them with write_trace_out().
+template <class F>
+TraceOverhead trace_overhead(F&& body, std::size_t warmup, std::size_t reps) {
+  return paired_overhead(std::forward<F>(body),
+                         [](bool on) { obs::set_enabled(on); }, warmup, reps);
 }
 
 /// `--trace-out[=PATH]` smoke: drain the buffered spans and write them

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "support/env.hpp"
 
@@ -118,6 +119,17 @@ void ThreadPool::work_on(Batch& b, LaneCounters& lane) {
     ++claimed;
     if (!b.cancelled.load(std::memory_order_relaxed)) {
       try {
+        // Pooled chunks are the exec fault sites: a serial scope (the
+        // degraded path) or a 1-chunk batch never reaches this loop, so
+        // degradation genuinely dodges these injections.
+        if (fault::armed()) {
+          if (fault::should_fire(fault::Site::ExecChunkDelay)) {
+            fault::fire_delay(fault::Site::ExecChunkDelay);
+          }
+          if (fault::should_fire(fault::Site::ExecChunkFault)) {
+            throw fault::InjectedFault(fault::Site::ExecChunkFault);
+          }
+        }
         b.invoke(b.ctx, c);
       } catch (...) {
         std::lock_guard<std::mutex> lk(b.mu);

@@ -1,0 +1,207 @@
+#include "fault/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "support/env.hpp"
+
+namespace pmonge::fault {
+
+namespace {
+
+constexpr const char* kSiteNames[kSiteCount] = {
+    "exec.chunk_delay",  "exec.chunk_fault",   "serve.admit_jitter",
+    "serve.group_fault", "serve.cache_poison", "serve.slow_response",
+    "plan.corrupt_plan",
+};
+
+struct SiteState {
+  std::atomic<std::uint64_t> evals{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+std::atomic<int> g_armed{-1};  // -1 = read PMONGE_FAULT_* on first use
+std::atomic<std::uint64_t> g_seed{0};
+std::atomic<std::uint32_t> g_rate_bp{0};
+std::atomic<std::uint32_t> g_mask{0};
+SiteState g_sites[kSiteCount];
+
+std::size_t idx(Site s) { return static_cast<std::size_t>(s); }
+
+/// splitmix64 finalizer: the decision mix.  Statistically independent
+/// streams per (seed, site, evaluation index).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void do_arm(std::uint64_t seed, std::uint32_t rate_bp,
+            std::uint32_t site_mask) {
+  g_seed.store(seed, std::memory_order_relaxed);
+  g_rate_bp.store(rate_bp > 10000 ? 10000 : rate_bp,
+                  std::memory_order_relaxed);
+  g_mask.store(site_mask & kAllSites, std::memory_order_relaxed);
+  for (auto& s : g_sites) {
+    s.evals.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+  }
+  g_armed.store(1, std::memory_order_relaxed);
+}
+
+bool init_armed() {
+  // env_uint throws loudly on malformed values (the repo-wide knob
+  // contract); pmonge-serve touches armed() eagerly so a typo'd
+  // PMONGE_FAULT_RATE fails at startup, not mid-soak.
+  const auto rate = support::env_uint("PMONGE_FAULT_RATE");
+  if (!rate.has_value() || *rate == 0) {
+    g_armed.store(0, std::memory_order_relaxed);
+    return false;
+  }
+  const auto seed = support::env_uint("PMONGE_FAULT_SEED");
+  std::uint32_t mask = kAllSites;
+  if (const char* raw = std::getenv("PMONGE_FAULT_SITES");
+      raw != nullptr && *raw != '\0') {
+    mask = parse_sites(raw);
+  }
+  do_arm(seed.value_or(1), static_cast<std::uint32_t>(
+                               *rate > 10000 ? 10000 : *rate),
+         mask);
+  return true;
+}
+
+}  // namespace
+
+const char* site_name(Site s) { return kSiteNames[idx(s)]; }
+
+InjectedFault::InjectedFault(Site s)
+    : std::runtime_error(std::string("injected fault at ") + site_name(s)),
+      site(s) {}
+
+bool armed() {
+  const int v = g_armed.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return init_armed();
+}
+
+bool should_fire(Site s) {
+  if (!armed()) return false;
+  if ((g_mask.load(std::memory_order_relaxed) & (1u << idx(s))) == 0) {
+    return false;
+  }
+  SiteState& st = g_sites[idx(s)];
+  const std::uint64_t n = st.evals.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seed = g_seed.load(std::memory_order_relaxed);
+  const std::uint64_t h =
+      mix(seed ^ (static_cast<std::uint64_t>(idx(s)) + 1) *
+                     0xd6e8feb86659fd93ULL ^
+          n * 0xa0761d6478bd642fULL);
+  if (h % 10000 < g_rate_bp.load(std::memory_order_relaxed)) {
+    st.fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void fire_delay(Site s) {
+  // Seeded duration in [20us, 200us): long enough to shuffle thread
+  // interleavings, short enough that thousands of injections stay
+  // affordable in a soak.
+  SiteState& st = g_sites[idx(s)];
+  const std::uint64_t n = st.fired.load(std::memory_order_relaxed);
+  const std::uint64_t h = mix(g_seed.load(std::memory_order_relaxed) ^
+                              (static_cast<std::uint64_t>(idx(s)) + 101) ^
+                              n * 0xe7037ed1a0b428dbULL);
+  std::this_thread::sleep_for(std::chrono::microseconds(20 + h % 180));
+}
+
+std::uint64_t injected(Site s) {
+  return g_sites[idx(s)].fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t injected_total() {
+  std::uint64_t total = 0;
+  for (const auto& s : g_sites) {
+    total += s.fired.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Config config() {
+  Config c;
+  c.armed = armed();
+  c.seed = g_seed.load(std::memory_order_relaxed);
+  c.rate_bp = g_rate_bp.load(std::memory_order_relaxed);
+  c.site_mask = g_mask.load(std::memory_order_relaxed);
+  return c;
+}
+
+void arm(std::uint64_t seed, std::uint32_t rate_bp, std::uint32_t site_mask) {
+  do_arm(seed, rate_bp, site_mask);
+}
+
+void disarm() { g_armed.store(0, std::memory_order_relaxed); }
+
+void reset_counters() {
+  for (auto& s : g_sites) {
+    s.evals.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t parse_sites(const std::string& csv) {
+  if (csv == "all") return kAllSites;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+    bool found = false;
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+      if (tok == kSiteNames[i]) {
+        mask |= 1u << i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string names;
+      for (std::size_t i = 0; i < kSiteCount; ++i) {
+        if (i > 0) names += ", ";
+        names += kSiteNames[i];
+      }
+      throw std::invalid_argument("malformed PMONGE_FAULT_SITES: unknown "
+                                  "site \"" +
+                                  tok + "\" (want \"all\" or any of: " +
+                                  names + ")");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+std::string sites_to_string(std::uint32_t mask) {
+  if ((mask & kAllSites) == kAllSites) return "all";
+  std::string out;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    if (!out.empty()) out += ',';
+    out += kSiteNames[i];
+  }
+  return out;
+}
+
+std::string describe() {
+  const Config c = config();
+  return "PMONGE_FAULT_SEED=" + std::to_string(c.seed) +
+         " PMONGE_FAULT_RATE=" + std::to_string(c.rate_bp) +
+         " PMONGE_FAULT_SITES=" + sites_to_string(c.site_mask);
+}
+
+}  // namespace pmonge::fault

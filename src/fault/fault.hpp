@@ -1,0 +1,110 @@
+// Deterministic, seeded fault injection for the whole stack.
+//
+// Named injection sites are compiled into the hot paths of exec (chunk
+// delay / chunk exception), serve (admission jitter, group failure,
+// cache poisoning, slow response writes) and plan (plan corruption).
+// Disarmed -- the default -- every site costs ONE relaxed atomic load,
+// the same contract PMONGE_TRACE holds for spans, so production binaries
+// carry the sites for free (bench_serve gates the overhead at 2%).
+//
+// Armed, every decision is a pure function of (seed, site, per-site
+// evaluation index): splitmix64 over that triple against a rate in
+// basis points (1/10000).  The decision *sequence* per site is therefore
+// identical across runs of the same seed; which request observes the
+// n-th evaluation still depends on thread interleaving, which is exactly
+// why the serve layer must (and does) produce bit-identical responses no
+// matter where a fault lands -- the chaos harness (tests/test_chaos.cpp)
+// asserts that.
+//
+// Arming, env knobs (all read once, malformed values throw loudly per
+// the support/env.hpp contract; pmonge-serve touches armed() eagerly so
+// a typo fails at startup):
+//   PMONGE_FAULT_RATE   fire probability in basis points out of 10000
+//                       (100 = 1%).  Unset or 0 = disarmed.
+//   PMONGE_FAULT_SEED   decision seed (default 1).
+//   PMONGE_FAULT_SITES  comma-separated site names, or "all" (default).
+// Tests arm programmatically with arm()/disarm() instead.
+//
+// docs/robustness.md documents the sites and how the serve layer reacts
+// to each (retry, degrade, detect).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pmonge::fault {
+
+/// Every named injection site.  Order is the bit position in the
+/// PMONGE_FAULT_SITES mask; keep site_name() in sync.
+enum class Site : std::uint32_t {
+  ExecChunkDelay = 0,  // exec.chunk_delay: sleep before a pool chunk runs
+  ExecChunkFault,      // exec.chunk_fault: throw from a pool chunk
+  ServeAdmitJitter,    // serve.admit_jitter: sleep in submit() pre-enqueue
+  ServeGroupFault,     // serve.group_fault: throw at group dispatch
+  ServeCachePoison,    // serve.cache_poison: corrupt a cached value byte
+  ServeSlowResponse,   // serve.slow_response: sleep before promises resolve
+  PlanCorruptPlan,     // plan.corrupt_plan: planner output scrambled
+};
+
+inline constexpr std::size_t kSiteCount = 7;
+inline constexpr std::uint32_t kAllSites = (1u << kSiteCount) - 1;
+
+const char* site_name(Site s);
+
+/// The retryable failure every throwing site raises.  The serve layer
+/// treats it (and only it) as transient: group retries with backoff,
+/// then the circuit breaker, then a `fault_injected` error.
+struct InjectedFault : std::runtime_error {
+  explicit InjectedFault(Site s);
+  Site site;
+};
+
+/// One relaxed load when the layer is disarmed (after first use reads
+/// the env knobs; malformed values throw std::invalid_argument).
+bool armed();
+
+/// Seeded decision for one evaluation of `s`.  Always false disarmed or
+/// when `s` is masked out; counts the evaluation and (when it fires)
+/// the injection otherwise.
+bool should_fire(Site s);
+
+/// The delay sites' payload: a short seeded sleep (tens to a couple
+/// hundred microseconds -- enough to reorder threads, never enough to
+/// trip a sane deadline on its own).
+void fire_delay(Site s);
+
+/// Injections fired at `s` / across all sites since the last reset.
+std::uint64_t injected(Site s);
+std::uint64_t injected_total();
+
+struct Config {
+  bool armed = false;
+  std::uint64_t seed = 0;
+  std::uint32_t rate_bp = 0;   // basis points out of 10000
+  std::uint32_t site_mask = 0;
+};
+Config config();
+
+/// Programmatic arming (test/bench hook; overrides the env knobs).
+/// rate_bp == 0 arms the full decision path but never fires -- that is
+/// the configuration the bench overhead gate measures.  Resets counters.
+void arm(std::uint64_t seed, std::uint32_t rate_bp,
+         std::uint32_t site_mask = kAllSites);
+void disarm();
+void reset_counters();
+
+/// Parse a PMONGE_FAULT_SITES value ("all" or comma-separated names);
+/// throws std::invalid_argument naming the offending token.
+std::uint32_t parse_sites(const std::string& csv);
+
+/// Render a mask back to the canonical comma-separated form.
+std::string sites_to_string(std::uint32_t mask);
+
+/// The env-assignment half of a reproduction command for the current
+/// configuration: "PMONGE_FAULT_SEED=s PMONGE_FAULT_RATE=r
+/// PMONGE_FAULT_SITES=a,b".  Failure messages lead with this.
+std::string describe();
+
+}  // namespace pmonge::fault

@@ -190,6 +190,11 @@ std::string prometheus_text(const Json& stats) {
   endpoint_counters(w, endpoints, "cache_misses",
                     "pmonge_request_cache_misses_total",
                     "Requests that missed the result cache");
+  endpoint_counters(w, endpoints, "retried", "pmonge_requests_retried_total",
+                    "Group retry attempts requests rode through");
+  endpoint_counters(w, endpoints, "degraded",
+                    "pmonge_requests_degraded_total",
+                    "Requests answered via the degraded (breaker) path");
   endpoint_latency(w, endpoints);
 
   section(w, stats.find("batches"),
@@ -226,8 +231,42 @@ std::string prometheus_text(const Json& stats) {
             "Result cache evictions", "counter"},
            {"invalidations", "pmonge_cache_invalidations_total",
             "Result cache invalidations", "counter"},
+           {"poisoned", "pmonge_cache_poisoned_total",
+            "Poisoned cache entries detected and dropped", "counter"},
            {"entries", "pmonge_cache_entries", "Result cache live entries",
             "gauge"}});
+
+  section(w, stats.find("resilience"),
+          {{"retries", "pmonge_group_retries_total",
+            "Group dispatch retries after injected faults", "counter"},
+           {"batch_retries", "pmonge_batch_retries_total",
+            "Batch dispatch resubmissions after injected faults", "counter"},
+           {"degraded_groups", "pmonge_degraded_groups_total",
+            "Groups executed on the degraded (sequential) path", "counter"},
+           {"breaker_opens", "pmonge_breaker_opens_total",
+            "Circuit breaker open transitions", "counter"},
+           {"fault_errors", "pmonge_fault_errors_total",
+            "Groups answered fault_injected after exhausting retries",
+            "counter"},
+           {"breaker_open", "pmonge_breaker_open",
+            "Circuit breaker currently open", "gauge"}});
+
+  if (const Json* fault = stats.find("fault")) {
+    section(w, fault,
+            {{"armed", "pmonge_fault_armed", "Fault injection armed",
+              "gauge"},
+             {"rate_bp", "pmonge_fault_rate_bp",
+              "Fault fire rate in basis points", "gauge"},
+             {"total", "pmonge_fault_injected_sum",
+              "Faults injected across all sites", "counter"}});
+    if (const Json* injected = fault->find("injected")) {
+      w.family("pmonge_fault_injected_total", "Faults injected by site",
+               "counter");
+      for (const auto& [site, v] : injected->obj()) {
+        w.sample({{"site", site}}, v);
+      }
+    }
+  }
 
   if (const Json* planner = stats.find("planner")) {
     section(w, planner,

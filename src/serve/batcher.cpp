@@ -4,6 +4,8 @@
 #include <chrono>
 #include <functional>
 #include <map>
+#include <optional>
+#include <thread>
 #include <utility>
 
 #include "apps/empty_rect.hpp"
@@ -11,6 +13,8 @@
 #include "apps/polygon_neighbors.hpp"
 #include "apps/string_edit.hpp"
 #include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/fault.hpp"
 #include "geom/geometry.hpp"
 #include "monge/staircase_seq.hpp"
 #include "obs/trace.hpp"
@@ -430,6 +434,10 @@ void run_empty_rect_group(std::vector<Member>& members, pram::Model model,
       set_ok(*m.out, Json(std::move(o)));
     } catch (const JsonError& e) {
       set_error(*m.out, e.what());
+    } catch (const fault::InjectedFault&) {
+      // Transient by contract: let it reach the group retry loop instead
+      // of freezing into a per-member "internal" error.
+      throw;
     } catch (const std::exception& e) {
       set_error(*m.out, std::string("internal: ") + e.what());
     }
@@ -483,6 +491,8 @@ void run_polygon_group(std::vector<Member>& members, pram::Model model,
       set_ok(*m.out, Json(std::move(o)));
     } catch (const JsonError& e) {
       set_error(*m.out, e.what());
+    } catch (const fault::InjectedFault&) {
+      throw;  // transient: belongs to the group retry loop
     } catch (const std::exception& e) {
       set_error(*m.out, std::string("internal: ") + e.what());
     }
@@ -552,7 +562,124 @@ plan::QueryShape query_shape(const Request& req, Registry& reg) {
   return s;
 }
 
+plan::Plan Batcher::plan_for(const plan::QueryShape& shape,
+                             bool degraded) const {
+  plan::Plan pl = planner_.plan(shape);
+  if (degraded) {
+    // The degradation contract: sequential-SMAWK under a SerialScope
+    // never touches the pool, and returns the same leftmost-optimum
+    // bytes as every other variant.
+    pl.algo = plan::Algo::Sequential;
+    pl.grain = 0;
+    return pl;
+  }
+  if (fault::armed() && fault::should_fire(fault::Site::PlanCorruptPlan)) {
+    // Rotate to a different variant.  Byte-identity across variants is
+    // exactly the invariant the chaos harness checks, so a "corrupted"
+    // plan may cost time but can never change a response.
+    switch (pl.algo) {
+      case plan::Algo::Brute: pl.algo = plan::Algo::Sequential; break;
+      case plan::Algo::Sequential: pl.algo = plan::Algo::Parallel; break;
+      case plan::Algo::Parallel: pl.algo = plan::Algo::Brute; break;
+    }
+    pl.grain = 0;
+  }
+  return pl;
+}
+
+bool Batcher::breaker_open() const {
+  return breaker_budget_.load(std::memory_order_relaxed) > 0;
+}
+
+void Batcher::note_failure() {
+  const std::uint64_t n =
+      consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n >= std::max<std::size_t>(1, res_.breaker_threshold) &&
+      res_.breaker_cooldown > 0 && !breaker_open()) {
+    breaker_budget_.store(static_cast<std::int64_t>(res_.breaker_cooldown),
+                          std::memory_order_relaxed);
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Batcher::note_group_done(bool degraded) {
+  if (!degraded) return;
+  degraded_groups_.fetch_add(1, std::memory_order_relaxed);
+  breaker_budget_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 void Batcher::dispatch_group(std::vector<Member>& ms) {
+  // Retry budget: the tightest member deadline, further tightened by the
+  // optional per-op timeout.  Attempts never sleep past it.
+  ServeClock::time_point deadline = kNoDeadline;
+  for (const Member& m : ms) deadline = std::min(deadline, m.deadline);
+  if (res_.op_timeout_ms >= 0) {
+    deadline = std::min(
+        deadline,
+        ServeClock::now() + std::chrono::milliseconds(res_.op_timeout_ms));
+  }
+  for (std::size_t attempt = 1;; ++attempt) {
+    const bool degraded = breaker_open();
+    try {
+      // The group-fault site models the *parallel* plan failing; the
+      // degraded path is the sequential fallback, so it is exempt --
+      // which is also what makes breaker recovery deterministic under a
+      // 100% injection rate (tests/test_chaos.cpp).
+      if (!degraded && fault::armed() &&
+          fault::should_fire(fault::Site::ServeGroupFault)) {
+        throw fault::InjectedFault(fault::Site::ServeGroupFault);
+      }
+      dispatch_group_once(ms, degraded);
+      note_group_done(degraded);
+      if (degraded) {
+        for (const Member& m : ms) {
+          metrics_.endpoint(m.req->op).degraded.add();
+        }
+      }
+      if (attempt == 1) {
+        // A clean first-attempt success closes the failure streak.
+        consecutive_failures_.store(0, std::memory_order_relaxed);
+      }
+      return;
+    } catch (const fault::InjectedFault& f) {
+      note_failure();
+      auto backoff = std::chrono::microseconds(
+          200ull << std::min<std::size_t>(attempt - 1, 10));
+      if (backoff > std::chrono::microseconds(5000)) {
+        backoff = std::chrono::microseconds(5000);
+      }
+      const auto now = ServeClock::now();
+      if (attempt > res_.max_retries ||
+          (deadline != kNoDeadline && now + backoff >= deadline)) {
+        // Out of budget: one coherent group-level error (partial
+        // outcomes from the failed attempt are discarded first).
+        for (Member& m : ms) *m.out = BatchOutcome{};
+        fail_unanswered(ms, std::string("fault_injected: ") +
+                                fault::site_name(f.site) + " after " +
+                                std::to_string(attempt) + " attempt(s)");
+        fault_errors_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      for (const Member& m : ms) {
+        metrics_.endpoint(m.req->op).retried.add();
+      }
+      {
+        obs::TraceContext tctx(ms.front().req->trace_id);
+        obs::Span rspan("serve.retry");
+        rspan.set_detail(fault::site_name(f.site));
+        rspan.set_arg("attempt", attempt);
+        std::this_thread::sleep_for(backoff);
+      }
+      // Kernels are deterministic: recomputation reproduces the exact
+      // bytes, so resetting partial outcomes cannot change a response.
+      for (Member& m : ms) *m.out = BatchOutcome{};
+    }
+  }
+}
+
+void Batcher::dispatch_group_once(std::vector<Member>& ms, bool degraded) {
   const std::string& op = ms.front().req->op;
   // Group-level spans (and the plan/kernel spans they enclose) carry a
   // representative trace id: the first member's.  Per-request intervals
@@ -561,6 +688,12 @@ void Batcher::dispatch_group(std::vector<Member>& ms) {
   obs::Span span("serve.group");
   span.set_detail(op);
   span.set_arg("members", ms.size());
+  // Degraded execution stays off the pool entirely (see thread_pool.cpp:
+  // serial scopes never enter the pooled chunk loop, where the exec
+  // fault sites live), so a breaker-opened batcher genuinely dodges the
+  // injections that opened it.
+  std::optional<exec::SerialScope> serial;
+  if (degraded) serial.emplace();
   try {
     if (op == "rowmin" || op == "rowmax") {
       auto entry = resolve(registry_, ms.front().req->body, "array",
@@ -572,7 +705,7 @@ void Batcher::dispatch_group(std::vector<Member>& ms) {
       const plan::QueryShape shape{plan::OpClass::RowSearch,
                                    entry->data.rows(), entry->data.cols(),
                                    ms.size()};
-      const plan::Plan pl = planner_.plan(shape);
+      const plan::Plan pl = plan_for(shape, degraded);
       count_plan(metrics_, pl.algo);
       run_row_group(ms, entry, op == "rowmax", model_, metrics_, pl);
     } else if (op == "staircase_rowmin" || op == "staircase_rowmax") {
@@ -585,7 +718,7 @@ void Batcher::dispatch_group(std::vector<Member>& ms) {
       const plan::QueryShape shape{plan::OpClass::RowSearch,
                                    entry->data.rows(), entry->data.cols(),
                                    ms.size()};
-      const plan::Plan pl = planner_.plan(shape);
+      const plan::Plan pl = plan_for(shape, degraded);
       count_plan(metrics_, pl.algo);
       run_staircase_group(ms, entry, op == "staircase_rowmax", model_,
                           metrics_, pl);
@@ -602,7 +735,7 @@ void Batcher::dispatch_group(std::vector<Member>& ms) {
       const plan::QueryShape shape{plan::OpClass::TubeSearch,
                                    d->data.rows(), d->data.cols(),
                                    ms.size()};
-      const plan::Plan pl = planner_.plan(shape);
+      const plan::Plan pl = plan_for(shape, degraded);
       count_plan(metrics_, pl.algo);
       run_tube_group(ms, d, e, op == "tubemax", model_, metrics_, pl);
     } else if (op == "string_edit") {
@@ -614,7 +747,7 @@ void Batcher::dispatch_group(std::vector<Member>& ms) {
         shape.rows = std::max(shape.rows, one.rows);
         shape.cols = std::max(shape.cols, one.cols);
       }
-      const plan::Plan pl = planner_.plan(shape);
+      const plan::Plan pl = plan_for(shape, degraded);
       count_plan(metrics_, pl.algo);
       run_edit_group(ms, model_, metrics_, pl);
     } else if (op == "largest_rect" || op == "empty_rect" ||
@@ -626,7 +759,7 @@ void Batcher::dispatch_group(std::vector<Member>& ms) {
         shape.rows =
             std::max(shape.rows, query_shape(*m.req, registry_).rows);
       }
-      const plan::Plan pl = planner_.plan(shape);
+      const plan::Plan pl = plan_for(shape, degraded);
       count_plan(metrics_, pl.algo);
       if (op == "largest_rect") {
         run_largest_rect_group(ms, model_, metrics_);
@@ -638,6 +771,8 @@ void Batcher::dispatch_group(std::vector<Member>& ms) {
     } else {
       fail_unanswered(ms, "unknown_op: " + op);
     }
+  } catch (const fault::InjectedFault&) {
+    throw;  // transient by contract: dispatch_group's retry loop owns it
   } catch (const std::exception& e) {
     fail_unanswered(ms, std::string("internal: ") + e.what());
   }
@@ -707,7 +842,20 @@ void Batcher::run_explain(const Request& req, BatchOutcome& out) {
   set_ok(out, Json(std::move(o)));
 }
 
-std::vector<BatchOutcome> Batcher::run(std::span<const Request> reqs) {
+ResilienceSnapshot Batcher::resilience() const {
+  ResilienceSnapshot s;
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.batch_retries = batch_retries_.load(std::memory_order_relaxed);
+  s.degraded_groups = degraded_groups_.load(std::memory_order_relaxed);
+  s.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+  s.fault_errors = fault_errors_.load(std::memory_order_relaxed);
+  s.breaker_open = breaker_budget_.load(std::memory_order_relaxed) > 0;
+  return s;
+}
+
+std::vector<BatchOutcome> Batcher::run(
+    std::span<const Request> reqs,
+    std::span<const ServeClock::time_point> deadlines) {
   std::vector<BatchOutcome> out(reqs.size());
 
   // Cache pass: answered hits never reach a group.  explain requests
@@ -746,17 +894,52 @@ std::vector<BatchOutcome> Batcher::run(std::span<const Request> reqs) {
              std::to_string(group_int(r.body, "e"));
     }
     if (!coalesce_) key += "#" + std::to_string(i);
-    groups[key].push_back(Member{&reqs[i], &out[i]});
+    groups[key].push_back(
+        Member{&reqs[i], &out[i],
+               deadlines.empty() ? kNoDeadline : deadlines[i]});
   }
 
-  // One engine submission for the whole batch; handlers never throw.
-  std::vector<std::function<void()>> jobs;
-  jobs.reserve(groups.size());
-  for (auto& [key, members_ref] : groups) {
-    std::vector<Member>* members = &members_ref;
-    jobs.push_back([this, members] { dispatch_group(*members); });
+  // One engine submission for the whole batch; dispatch_group never
+  // throws.  The submission itself is pooled, though, so an exec fault
+  // site can fire on a jobs chunk *before* its group ran -- in which
+  // case that group is completely untouched (a group is all-answered or
+  // untouched, never partial).  Resubmit the untouched groups, bounded
+  // by max_retries.
+  std::vector<std::vector<Member>*> pending;
+  pending.reserve(groups.size());
+  for (auto& [key, members_ref] : groups) pending.push_back(&members_ref);
+  for (std::size_t attempt = 0; !pending.empty(); ++attempt) {
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(pending.size());
+    for (std::vector<Member>* members : pending) {
+      jobs.push_back([this, members] { dispatch_group(*members); });
+    }
+    try {
+      exec::parallel_jobs(jobs);
+      break;
+    } catch (const fault::InjectedFault& f) {
+      std::vector<std::vector<Member>*> untouched;
+      for (std::vector<Member>* members : pending) {
+        const bool unanswered =
+            std::any_of(members->begin(), members->end(), [](const Member& m) {
+              return !m.out->ok && m.out->error.empty();
+            });
+        if (unanswered) untouched.push_back(members);
+      }
+      pending = std::move(untouched);
+      if (pending.empty()) break;
+      if (attempt >= res_.max_retries) {
+        for (std::vector<Member>* members : pending) {
+          fail_unanswered(*members, std::string("fault_injected: ") +
+                                        fault::site_name(f.site) +
+                                        " at batch dispatch");
+          fault_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      batch_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  exec::parallel_jobs(jobs);
 
   // Memoize fresh successes under their signatures, tagged with the
   // array ids they read so unregister can invalidate them.

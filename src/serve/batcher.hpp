@@ -34,14 +34,29 @@
 // inner query's plan, its predicted cost, the measured wall time of one
 // uncached run, and the inner outcome.  Like `stats` it is
 // observability output: never cached, bytes may vary run to run.
+//
+// Resilience (docs/robustness.md): a group whose kernel raises a
+// fault::InjectedFault -- the one exception class the stack treats as
+// transient -- is retried with exponential backoff, bounded by
+// max_retries and by the tightest member deadline (plus the optional
+// per-op timeout).  Repeated failures open a circuit breaker that runs
+// the next `breaker_cooldown` groups degraded: sequential-SMAWK plans
+// under a SerialScope, which never touch the pool (so pool-side
+// injections cannot reach them) and produce the same leftmost-optimum
+// bytes as every other variant.  Exhausted retries answer a
+// `fault_injected` error.  Since all variants are byte-identical,
+// neither retries nor degradation can change a response.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "plan/planner.hpp"
 #include "pram/machine.hpp"
+#include "serve/admission.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
@@ -56,11 +71,30 @@ struct BatchOutcome {
   bool cache_hit = false;
 };
 
+/// Retry / timeout / circuit-breaker knobs (ServiceOptions embeds one).
+struct ResilienceOptions {
+  std::size_t max_retries = 3;       // retry attempts per group
+  std::int64_t op_timeout_ms = -1;   // per-group execution budget; -1 none
+  std::size_t breaker_threshold = 5; // consecutive failures that open it
+  std::size_t breaker_cooldown = 32; // groups run degraded while open
+};
+
+/// Live resilience counters (stats `resilience` section).
+struct ResilienceSnapshot {
+  std::uint64_t retries = 0;         // group-level retry attempts
+  std::uint64_t batch_retries = 0;   // batch-dispatch resubmissions
+  std::uint64_t degraded_groups = 0; // groups answered degraded
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t fault_errors = 0;    // groups answered fault_injected
+  bool breaker_open = false;
+};
+
 namespace detail {
 /// A request slot inside one coalesced group.
 struct BatchMember {
   const Request* req;
   BatchOutcome* out;
+  ServeClock::time_point deadline = kNoDeadline;
 };
 }  // namespace detail
 
@@ -74,21 +108,35 @@ plan::QueryShape query_shape(const Request& req, Registry& reg);
 class Batcher {
  public:
   Batcher(Registry& registry, ShardedLruCache& cache, ServiceMetrics& metrics,
-          const plan::Planner& planner, pram::Model model, bool coalesce)
+          const plan::Planner& planner, pram::Model model, bool coalesce,
+          ResilienceOptions resilience = {})
       : registry_(registry),
         cache_(cache),
         metrics_(metrics),
         planner_(planner),
         model_(model),
-        coalesce_(coalesce) {}
+        coalesce_(coalesce),
+        res_(resilience) {}
 
   /// Answer every query request in `reqs` (all must be query-plane ops).
   /// Outcomes align with `reqs`; every request gets exactly one outcome.
-  std::vector<BatchOutcome> run(std::span<const Request> reqs);
+  /// `deadlines` (absolute, kNoDeadline sentinel), when non-empty, aligns
+  /// with `reqs` and bounds that request's retry budget.
+  std::vector<BatchOutcome> run(
+      std::span<const Request> reqs,
+      std::span<const ServeClock::time_point> deadlines = {});
+
+  ResilienceSnapshot resilience() const;
 
  private:
   void dispatch_group(std::vector<detail::BatchMember>& ms);
+  void dispatch_group_once(std::vector<detail::BatchMember>& ms,
+                           bool degraded);
+  plan::Plan plan_for(const plan::QueryShape& shape, bool degraded) const;
   void run_explain(const Request& req, BatchOutcome& out);
+  bool breaker_open() const;
+  void note_failure();
+  void note_group_done(bool degraded);
 
   Registry& registry_;
   ShardedLruCache& cache_;
@@ -96,6 +144,16 @@ class Batcher {
   const plan::Planner& planner_;
   pram::Model model_;
   bool coalesce_;
+  ResilienceOptions res_;
+
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> batch_retries_{0};
+  std::atomic<std::uint64_t> degraded_groups_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> fault_errors_{0};
+  std::atomic<std::uint64_t> consecutive_failures_{0};
+  // > 0: open, counts the degraded groups remaining before it re-closes.
+  std::atomic<std::int64_t> breaker_budget_{0};
 };
 
 }  // namespace pmonge::serve

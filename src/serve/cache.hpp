@@ -19,6 +19,13 @@
 // could still answer `ok` from cache.  Invalidation scans the shards --
 // unregister is rare and the cache is small, so an O(entries) sweep
 // beats maintaining a reverse index on the hot put path.
+//
+// Poisoning detection: every entry stores the FNV-1a checksum of its
+// value at insertion; get() re-verifies before answering.  A mismatch
+// (memory corruption, or the serve.cache_poison fault site in a chaos
+// run) drops the entry and reports a miss, so a poisoned cache degrades
+// to recomputation -- the response bytes stay correct -- and the
+// `poisoned` counter records the detection.
 #pragma once
 
 #include <algorithm>
@@ -31,6 +38,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
+
 namespace pmonge::serve {
 
 struct CacheStats {
@@ -39,8 +48,19 @@ struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t invalidations = 0;  // entries dropped by invalidate_tag
+  std::uint64_t poisoned = 0;       // checksum mismatches detected on get
   std::size_t entries = 0;
 };
+
+/// FNV-1a over the cached value bytes: the poisoning detector.
+inline std::uint64_t cache_checksum(const std::string& v) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : v) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 class ShardedLruCache {
  public:
@@ -69,6 +89,15 @@ class ShardedLruCache {
       ++sh.misses;
       return std::nullopt;
     }
+    if (cache_checksum(it->second->value) != it->second->sum) {
+      // Poisoned entry: never serve it.  Dropping it turns the hit into
+      // a miss, so the caller recomputes and the response stays correct.
+      sh.lru.erase(it->second);
+      sh.index.erase(it);
+      ++sh.poisoned;
+      ++sh.misses;
+      return std::nullopt;
+    }
     ++sh.hits;
     sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
     return it->second->value;
@@ -86,16 +115,25 @@ class ShardedLruCache {
   void put_tagged(const std::string& key, std::string value,
                   std::vector<std::uint64_t> tags) {
     if (!enabled()) return;
+    // The checksum is taken over the *correct* bytes; the fault site
+    // then corrupts the stored copy, so a later get() detects the
+    // mismatch -- the detection path the chaos harness exercises.
+    const std::uint64_t sum = cache_checksum(value);
+    if (fault::armed() &&
+        fault::should_fire(fault::Site::ServeCachePoison) && !value.empty()) {
+      value[value.size() / 2] ^= 0x40;
+    }
     Shard& sh = shard_of(key);
     std::lock_guard<std::mutex> lock(sh.mu);
     const auto it = sh.index.find(key);
     if (it != sh.index.end()) {
       it->second->value = std::move(value);
       it->second->tags = std::move(tags);
+      it->second->sum = sum;
       sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
       return;
     }
-    sh.lru.push_front(Entry{key, std::move(value), std::move(tags)});
+    sh.lru.push_front(Entry{key, std::move(value), std::move(tags), sum});
     sh.index.emplace(key, sh.lru.begin());
     ++sh.insertions;
     if (sh.lru.size() > per_shard_) {
@@ -153,6 +191,7 @@ class ShardedLruCache {
       s.insertions += sh->insertions;
       s.evictions += sh->evictions;
       s.invalidations += sh->invalidations;
+      s.poisoned += sh->poisoned;
       s.entries += sh->lru.size();
     }
     return s;
@@ -165,6 +204,7 @@ class ShardedLruCache {
     std::string key;
     std::string value;
     std::vector<std::uint64_t> tags;  // array ids the value depends on
+    std::uint64_t sum = 0;            // cache_checksum(value) at insertion
   };
 
   struct Shard {
@@ -172,7 +212,7 @@ class ShardedLruCache {
     std::list<Entry> lru;  // front = newest
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
     std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0,
-                  invalidations = 0;
+                  invalidations = 0, poisoned = 0;
   };
 
   Shard& shard_of(const std::string& key) {

@@ -11,7 +11,9 @@
 // Flags (see docs/serving.md): --queue N --batch N --cache N --shards N
 // --no-batch --no-cache --model NAME --deadline-ms N --max-cells N
 // --profile PATH --no-plan --calibrate PATH (PMONGE_PROFILE is the env
-// equivalent of --profile; the flag wins when both are set)
+// equivalent of --profile; the flag wins when both are set) plus the
+// resilience knobs --retries --op-timeout-ms --breaker-threshold
+// --breaker-cooldown (docs/robustness.md)
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,7 @@
 #include <thread>
 
 #include "exec/thread_pool.hpp"
+#include "fault/fault.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/trace.hpp"
 #include "plan/calibrate.hpp"
@@ -73,7 +76,17 @@ int main(int argc, char** argv) {
         "                   fitted profile to PATH, and exit\n"
         "  --trace-out PATH enable span tracing (as if PMONGE_TRACE=1) and\n"
         "                   write the Chrome trace-event JSON of the whole\n"
-        "                   run to PATH at exit (load in ui.perfetto.dev)");
+        "                   run to PATH at exit (load in ui.perfetto.dev)\n"
+        "  --retries N      group retry attempts on injected faults\n"
+        "                   (default 3)\n"
+        "  --op-timeout-ms N  per-group execution budget, -1 = none\n"
+        "                   (default -1)\n"
+        "  --breaker-threshold N  consecutive failures that open the\n"
+        "                   circuit breaker (default 5)\n"
+        "  --breaker-cooldown N   groups run degraded (sequential) while\n"
+        "                   the breaker is open (default 32)\n"
+        "Fault injection (docs/robustness.md): PMONGE_FAULT_RATE (basis\n"
+        "points; unset or 0 = off), PMONGE_FAULT_SEED, PMONGE_FAULT_SITES.");
     return 0;
   }
 
@@ -86,6 +99,7 @@ int main(int argc, char** argv) {
     pmonge::exec::num_threads();
     pmonge::exec::default_grain();
     pmonge::obs::enabled();
+    pmonge::fault::armed();  // PMONGE_FAULT_* typos fail here, not mid-run
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pmonge-serve: %s\n", e.what());
     return 2;
@@ -124,6 +138,13 @@ int main(int argc, char** argv) {
   opts.max_register_cells =
       static_cast<std::size_t>(cli.get_int("max-cells", std::int64_t{1} << 24));
   if (cli.has("no-plan")) opts.planner = false;
+  opts.resilience.max_retries =
+      static_cast<std::size_t>(cli.get_int("retries", 3));
+  opts.resilience.op_timeout_ms = cli.get_int("op-timeout-ms", -1);
+  opts.resilience.breaker_threshold =
+      static_cast<std::size_t>(cli.get_int("breaker-threshold", 5));
+  opts.resilience.breaker_cooldown =
+      static_cast<std::size_t>(cli.get_int("breaker-cooldown", 32));
 
   // Cost profile: --profile beats PMONGE_PROFILE beats the built-in.
   // A profile that cannot be loaded is a hard startup error (exit 2

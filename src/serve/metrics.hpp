@@ -32,6 +32,8 @@ struct EndpointMetrics {
   support::Counter unmeetable;    // rejected deadline_unmeetable at admission
   support::Counter cache_hits;
   support::Counter cache_misses;
+  support::Counter retried;       // group retry attempts this op rode
+  support::Counter degraded;      // answered via the degraded (breaker) path
   support::LogHistogram latency_us;  // submit -> response, microseconds
 };
 
@@ -77,6 +79,8 @@ class ServiceMetrics {
       e["unmeetable"] = m->unmeetable.value();
       e["cache_hits"] = m->cache_hits.value();
       e["cache_misses"] = m->cache_misses.value();
+      e["retried"] = m->retried.value();
+      e["degraded"] = m->degraded.value();
       Json::Obj lat;
       lat["count"] = m->latency_us.count();
       lat["sum_us"] = m->latency_us.sum();

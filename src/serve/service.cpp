@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/thread_pool.hpp"
+#include "fault/fault.hpp"
 #include "monge/generators.hpp"
 #include "monge/validate.hpp"
 #include "obs/chrome_trace.hpp"
@@ -39,7 +40,7 @@ Service::Service(ServiceOptions opts)
       metrics_(all_ops()),
       planner_(opts.profile, opts.planner, exec::num_threads()),
       batcher_(registry_, cache_, metrics_, planner_, opts.model,
-               opts.coalesce),
+               opts.coalesce, opts.resilience),
       queue_(std::make_unique<AdmissionQueue<Pending>>(opts.queue_capacity)) {
   worker_ = std::thread([this] { worker_loop(); });
 }
@@ -117,6 +118,12 @@ std::future<std::string> Service::submit(std::string line) {
               "us exceeds deadline " + std::to_string(deadline_ms) + "ms"));
       return fut;
     }
+  }
+  // Admission jitter site: a seeded pre-enqueue sleep that shuffles
+  // arrival order.  Response bytes never depend on batch composition, so
+  // this can only move latency, never answers.
+  if (fault::armed() && fault::should_fire(fault::Site::ServeAdmitJitter)) {
+    fault::fire_delay(fault::Site::ServeAdmitJitter);
   }
   const std::int64_t id = req.id;
   Pending p{std::move(req), std::move(promise)};
@@ -210,7 +217,19 @@ void Service::worker_loop() {
     std::vector<Request> reqs;
     reqs.reserve(live.size());
     for (const Request* r : live) reqs.push_back(*r);
-    const auto outcomes = batcher_.run(reqs);
+    std::vector<ServeClock::time_point> deadlines;
+    deadlines.reserve(live.size());
+    for (const std::size_t i : live_idx) deadlines.push_back(batch[i].deadline);
+    std::vector<BatchOutcome> outcomes;
+    try {
+      outcomes = batcher_.run(reqs, deadlines);
+    } catch (const std::exception& e) {
+      // The batcher's contract is to never throw; if something slips
+      // through anyway, answer the batch instead of killing the one
+      // worker thread (which would hang every future submission).
+      outcomes.assign(reqs.size(), BatchOutcome{});
+      for (auto& o : outcomes) o.error = std::string("internal: ") + e.what();
+    }
 
     std::vector<std::string> responses;
     responses.reserve(outcomes.size());
@@ -232,6 +251,12 @@ void Service::worker_loop() {
     // Spans land before promises resolve: a client that saw its answer
     // can immediately `trace` and find its serve.request span.
     obs::emit_all(req_spans);
+    // Slow-client site: one seeded stall between computing a batch's
+    // answers and resolving its promises -- the response-writing leg.
+    if (fault::armed() &&
+        fault::should_fire(fault::Site::ServeSlowResponse)) {
+      fault::fire_delay(fault::Site::ServeSlowResponse);
+    }
     for (std::size_t t = 0; t < outcomes.size(); ++t) {
       batch[live_idx[t]].item.promise.set_value(std::move(responses[t]));
     }
@@ -432,8 +457,32 @@ Json Service::stats_json() const {
   cache["insertions"] = cs.insertions;
   cache["evictions"] = cs.evictions;
   cache["invalidations"] = cs.invalidations;
+  cache["poisoned"] = cs.poisoned;
   cache["entries"] = cs.entries;
   out["cache"] = Json(std::move(cache));
+  const ResilienceSnapshot rs = batcher_.resilience();
+  Json::Obj res;
+  res["retries"] = rs.retries;
+  res["batch_retries"] = rs.batch_retries;
+  res["degraded_groups"] = rs.degraded_groups;
+  res["breaker_opens"] = rs.breaker_opens;
+  res["fault_errors"] = rs.fault_errors;
+  res["breaker_open"] = rs.breaker_open;
+  out["resilience"] = Json(std::move(res));
+  const fault::Config fc = fault::config();
+  Json::Obj flt;
+  flt["armed"] = fc.armed;
+  flt["seed"] = fc.seed;
+  flt["rate_bp"] = static_cast<std::int64_t>(fc.rate_bp);
+  flt["sites"] = fault::sites_to_string(fc.site_mask);
+  Json::Obj injected;
+  for (std::size_t i = 0; i < fault::kSiteCount; ++i) {
+    const auto s = static_cast<fault::Site>(i);
+    injected[fault::site_name(s)] = fault::injected(s);
+  }
+  flt["injected"] = Json(std::move(injected));
+  flt["total"] = fault::injected_total();
+  out["fault"] = Json(std::move(flt));
   const plan::PlanCache::Stats ps = planner_.cache_stats();
   Json::Obj planner;
   planner["enabled"] = planner_.enabled();

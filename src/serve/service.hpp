@@ -56,6 +56,7 @@ struct ServiceOptions {
   std::size_t max_register_cells = std::size_t{1} << 24;  // register guard
   bool planner = true;                // adaptive execution planner on/off
   plan::CostProfile profile = plan::builtin_profile();  // cost-model constants
+  ResilienceOptions resilience;       // retry / timeout / breaker knobs
 };
 
 class Service {

@@ -3,14 +3,18 @@
 // algorithm families against each other and against the brute oracles.
 // This is the catch-all net under the targeted suites: any divergence
 // between two implementations of the same problem fails loudly with the
-// seed (and, where relevant, the engine thread count) in the message, so
-// a failure reproduces as a one-liner:
+// seed (and the engine thread count) in the message as ONE
+// copy-pastable reproduction command (bench/bench_util.hpp):
 //
-//   PMONGE_FUZZ_SEED=<seed> ./test_fuzz --gtest_filter='Seeds/Fuzz.*'
+//   PMONGE_FUZZ_SEED=<seed> PMONGE_THREADS=<n> ctest -R fuzz
+//       --output-on-failure
 //
 // PMONGE_FUZZ_SEED appends an extra seed to the built-in corpus; CI can
-// rotate it without touching code.
+// rotate it without touching code.  tests/test_chaos.cpp reuses the same
+// reporter for its fault-injection repro lines.
 #include <gtest/gtest.h>
+
+#include "bench_util.hpp"
 
 #include "exec/thread_pool.hpp"
 #include "monge/brute.hpp"
@@ -55,12 +59,12 @@ TEST_P(Fuzz, MongeRowSearchAllPathsAgree) {
     const auto a = monge::random_monge(m, n, rng, 2, 15);  // tie-heavy
     const auto brute_min = monge::row_minima_brute(a);
     const auto brute_max = monge::row_maxima_brute(a);
-    EXPECT_EQ(monge::smawk_row_minima(a), brute_min) << GetParam();
-    EXPECT_EQ(monge::smawk_row_maxima_monge(a), brute_max) << GetParam();
+    EXPECT_EQ(monge::smawk_row_minima(a), brute_min) << bench::fuzz_repro(GetParam(), exec::num_threads());
+    EXPECT_EQ(monge::smawk_row_maxima_monge(a), brute_max) << bench::fuzz_repro(GetParam(), exec::num_threads());
     for (auto model : {Model::CREW, Model::CRCW_COMMON}) {
       Machine mach(model);
-      EXPECT_EQ(par::monge_row_minima(mach, a), brute_min) << GetParam();
-      EXPECT_EQ(par::monge_row_maxima(mach, a), brute_max) << GetParam();
+      EXPECT_EQ(par::monge_row_minima(mach, a), brute_min) << bench::fuzz_repro(GetParam(), exec::num_threads());
+      EXPECT_EQ(par::monge_row_maxima(mach, a), brute_max) << bench::fuzz_repro(GetParam(), exec::num_threads());
     }
   }
 }
@@ -73,14 +77,14 @@ TEST_P(Fuzz, StaircaseAllPathsAgree) {
     const auto inst = monge::random_staircase_monge(m, n, rng);
     StaircaseArray<DenseArray<std::int64_t>> s(inst.base, inst.frontier);
     const auto want = monge::row_minima_brute(s);
-    EXPECT_EQ(monge::staircase_row_minima_seq(s), want) << GetParam();
+    EXPECT_EQ(monge::staircase_row_minima_seq(s), want) << bench::fuzz_repro(GetParam(), exec::num_threads());
     for (auto sched :
          {par::StaircaseSchedule::MaxParallel,
           par::StaircaseSchedule::WorkEfficient,
           par::StaircaseSchedule::ColumnSplit}) {
       Machine mach(Model::CRCW_COMMON);
       EXPECT_EQ(par::staircase_row_minima(mach, s, sched), want)
-          << GetParam();
+          << bench::fuzz_repro(GetParam(), exec::num_threads());
     }
   }
 }
@@ -99,10 +103,10 @@ TEST_P(Fuzz, TubeAllPathsAgree) {
       Machine mach(Model::CRCW_COMMON);
       EXPECT_EQ(par::tube_minima(mach, inst.d, inst.e, strat).opt,
                 want_min.opt)
-          << GetParam();
+          << bench::fuzz_repro(GetParam(), exec::num_threads());
       EXPECT_EQ(par::tube_maxima(mach, inst.d, inst.e, strat).opt,
                 want_max.opt)
-          << GetParam();
+          << bench::fuzz_repro(GetParam(), exec::num_threads());
     }
   }
 }
@@ -124,7 +128,7 @@ TEST_P(Fuzz, NetworkAgreesWithPram) {
                     e, idx, idx,
                     [&](std::size_t i, std::size_t j) { return a(i, j); }),
                 want)
-          << GetParam();
+          << bench::fuzz_repro(GetParam(), exec::num_threads());
     }
   }
 }
@@ -175,19 +179,18 @@ TEST_P(Fuzz, ParallelMatchesSequentialAcrossThreadCounts) {
       Machine mach(Model::CRCW_COMMON);
       const auto got = par::monge_row_minima(mach, a);
       EXPECT_EQ(got, referee)
-          << "seed=" << GetParam() << " threads=" << threads << " m=" << m
-          << " n=" << n;
+          << bench::fuzz_repro(GetParam(), threads) << " (m=" << m
+          << " n=" << n << ")";
       if (threads == 1) {
         first = got;
         first_time = mach.meter().time;
         first_work = mach.meter().work;
       } else {
-        EXPECT_EQ(got, first)
-            << "seed=" << GetParam() << " threads=" << threads;
+        EXPECT_EQ(got, first) << bench::fuzz_repro(GetParam(), threads);
         EXPECT_EQ(mach.meter().time, first_time)
-            << "seed=" << GetParam() << " threads=" << threads;
+            << bench::fuzz_repro(GetParam(), threads);
         EXPECT_EQ(mach.meter().work, first_work)
-            << "seed=" << GetParam() << " threads=" << threads;
+            << bench::fuzz_repro(GetParam(), threads);
       }
     }
   }

@@ -1,0 +1,287 @@
+// Property-based / metamorphic tests for the Monge kernels: instead of
+// comparing two implementations on one instance (tests/test_fuzz.cpp),
+// each test states an algebraic identity the *problem* obeys -- transpose
+// duality, negation duality, offset invariance, restriction closure --
+// and checks that the kernels respect it on random instances.  These
+// catch a different failure class than differential fuzzing: a bug
+// shared by every implementation (e.g. a wrong tie-breaking convention
+// baked into both SMAWK and the PRAM kernel) breaks an identity even
+// though all implementations still agree with each other.
+//
+// Seeds come from the same corpus + PMONGE_FUZZ_SEED override as the
+// fuzz suite, and every failure prints one copy-pastable repro line:
+//
+//   PMONGE_FUZZ_SEED=<seed> ctest -R properties --output-on-failure
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "monge/array.hpp"
+#include "monge/brute.hpp"
+#include "monge/generators.hpp"
+#include "monge/smawk.hpp"
+#include "monge/staircase_seq.hpp"
+#include "monge/validate.hpp"
+#include "par/monge_rowminima.hpp"
+#include "par/staircase_rowminima.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace pmonge {
+namespace {
+
+using monge::DenseArray;
+using monge::kNoCol;
+using monge::RowOpt;
+using monge::StaircaseArray;
+using pram::Machine;
+using pram::Model;
+
+std::vector<std::uint64_t> property_seeds() {
+  std::vector<std::uint64_t> seeds{1, 2, 3, 5, 8, 13, 21, 34};
+  if (auto extra = support::env_uint("PMONGE_FUZZ_SEED")) {
+    seeds.push_back(*extra);
+  }
+  return seeds;
+}
+
+std::string repro(std::uint64_t seed) {
+  return bench::repro_line("PMONGE_FUZZ_SEED=" + std::to_string(seed),
+                           "properties");
+}
+
+class Properties : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::pair<std::size_t, std::size_t> random_shape(Rng& rng, std::size_t hi) {
+  return {1 + static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<std::int64_t>(hi))),
+          1 + static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<std::int64_t>(hi)))};
+}
+
+TEST_P(Properties, TransposeDuality) {
+  // Monge-ness survives transposition, and the row minima of the
+  // transpose ARE the column minima of the original -- computed naively
+  // straight from the definition, not via any kernel.
+  Rng rng(GetParam());
+  for (int t = 0; t < 6; ++t) {
+    const auto [m, n] = random_shape(rng, 50);
+    const auto a = monge::random_monge(m, n, rng, 2, 15);  // tie-heavy
+    monge::Transpose<DenseArray<std::int64_t>> tr(a);
+    ASSERT_TRUE(monge::is_monge(tr)) << repro(GetParam());
+    const auto got = monge::smawk_row_minima(tr);
+    ASSERT_EQ(got.size(), n) << repro(GetParam());
+    for (std::size_t j = 0; j < n; ++j) {
+      RowOpt<std::int64_t> want{a(0, j), 0};
+      for (std::size_t i = 1; i < m; ++i) {
+        if (a(i, j) < want.value) want = {a(i, j), i};
+      }
+      EXPECT_EQ(got[j], want)
+          << repro(GetParam()) << " (col " << j << ", m=" << m << " n=" << n
+          << ")";
+    }
+  }
+}
+
+TEST_P(Properties, NegationDuality) {
+  // Negation maps Monge <-> inverse-Monge and minima <-> maxima.  The
+  // leftmost minimum of row i of `a` is the leftmost maximum of row i of
+  // `-a`: same column, negated value.  This pins the tie-breaking
+  // convention across the min and max kernel pair -- two kernels could
+  // agree with their own brute oracles yet break this if one preferred
+  // rightmost winners.
+  Rng rng(GetParam() + 1000);
+  for (int t = 0; t < 6; ++t) {
+    const auto [m, n] = random_shape(rng, 50);
+    const auto a = monge::random_monge(m, n, rng, 2, 15);
+    monge::Negate<DenseArray<std::int64_t>> neg(a);
+    ASSERT_TRUE(monge::is_inverse_monge(neg)) << repro(GetParam());
+    const auto mins = monge::smawk_row_minima(a);
+    const auto maxs = monge::smawk_row_maxima_inverse_monge(neg);
+    ASSERT_EQ(mins.size(), maxs.size());
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(maxs[i].col, mins[i].col)
+          << repro(GetParam()) << " (row " << i << ")";
+      EXPECT_EQ(maxs[i].value, -mins[i].value)
+          << repro(GetParam()) << " (row " << i << ")";
+    }
+  }
+}
+
+TEST_P(Properties, ReverseColsMapsBetweenClasses) {
+  // Reversing columns swaps the Monge and inverse-Monge classes while
+  // preserving each row's multiset of values: the min/max VALUES per row
+  // are invariant (indices mirror, and leftmost-in-reversed =
+  // rightmost-in-original, so only values are comparable).
+  Rng rng(GetParam() + 2000);
+  for (int t = 0; t < 6; ++t) {
+    const auto [m, n] = random_shape(rng, 50);
+    const auto a = monge::random_monge(m, n, rng, 2, 15);
+    monge::ReverseCols<DenseArray<std::int64_t>> rev(a);
+    ASSERT_TRUE(monge::is_inverse_monge(rev)) << repro(GetParam());
+    const auto mins = monge::smawk_row_minima(a);
+    const auto rmins = monge::smawk_row_minima_inverse_monge(rev);
+    const auto rbrute = monge::row_minima_brute(rev);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(rmins[i].value, mins[i].value)
+          << repro(GetParam()) << " (row " << i << ")";
+      EXPECT_EQ(rmins[i], rbrute[i])
+          << repro(GetParam()) << " (row " << i << ")";
+    }
+  }
+}
+
+TEST_P(Properties, OffsetInvariance) {
+  // a'(i,j) = a(i,j) + r_i + c_j preserves Monge-ness (the quadrangle
+  // inequality is invariant under rank-one offsets).  Row offsets alone
+  // even preserve the argmin columns exactly -- including leftmost tie
+  // winners, since every within-row comparison is shifted equally.
+  Rng rng(GetParam() + 3000);
+  for (int t = 0; t < 5; ++t) {
+    const auto [m, n] = random_shape(rng, 40);
+    const auto a = monge::random_monge(m, n, rng, 2, 15);
+    std::vector<std::int64_t> r(m), c(n);
+    for (auto& v : r) v = rng.uniform_int(-50, 50);
+    for (auto& v : c) v = rng.uniform_int(-50, 50);
+
+    const auto row_only = monge::make_func_array<std::int64_t>(
+        m, n, [&](std::size_t i, std::size_t j) { return a(i, j) + r[i]; });
+    ASSERT_TRUE(monge::is_monge(row_only)) << repro(GetParam());
+    const auto base_mins = monge::smawk_row_minima(a);
+    const auto shifted = monge::smawk_row_minima(row_only);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(shifted[i].col, base_mins[i].col)
+          << repro(GetParam()) << " (row " << i << ")";
+      EXPECT_EQ(shifted[i].value, base_mins[i].value + r[i])
+          << repro(GetParam()) << " (row " << i << ")";
+    }
+
+    // Column offsets move the argmins, but the class is closed: the
+    // kernel must still match brute on the offset array.
+    const auto both = monge::make_func_array<std::int64_t>(
+        m, n,
+        [&](std::size_t i, std::size_t j) { return a(i, j) + r[i] + c[j]; });
+    ASSERT_TRUE(monge::is_monge(both)) << repro(GetParam());
+    EXPECT_EQ(monge::smawk_row_minima(both), monge::row_minima_brute(both))
+        << repro(GetParam()) << " (m=" << m << " n=" << n << ")";
+  }
+}
+
+TEST_P(Properties, SubArrayRestriction) {
+  // Any contiguous sub-block of a Monge array is Monge, and both the
+  // sequential and the PRAM kernel must solve it exactly.  When the
+  // parent row's argmin happens to land inside the selected column
+  // window, the sub-block's answer must be that same entry.
+  Rng rng(GetParam() + 4000);
+  for (int t = 0; t < 5; ++t) {
+    const auto [m, n] = random_shape(rng, 48);
+    const auto a = monge::random_monge(m, n, rng, 2, 15);
+    const std::size_t r0 =
+        static_cast<std::size_t>(rng.uniform_int(0, m - 1));
+    const std::size_t nr = 1 + static_cast<std::size_t>(
+                                   rng.uniform_int(0, m - 1 - r0));
+    const std::size_t c0 =
+        static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const std::size_t nc = 1 + static_cast<std::size_t>(
+                                   rng.uniform_int(0, n - 1 - c0));
+    monge::SubArray<DenseArray<std::int64_t>> sub(a, r0, nr, c0, nc);
+    ASSERT_TRUE(monge::is_monge(sub)) << repro(GetParam());
+    const auto want = monge::row_minima_brute(sub);
+    EXPECT_EQ(monge::smawk_row_minima(sub), want) << repro(GetParam());
+    Machine mach(Model::CRCW_COMMON);
+    EXPECT_EQ(par::monge_row_minima(mach, sub), want) << repro(GetParam());
+
+    const auto parent = monge::smawk_row_minima(a);
+    for (std::size_t i = 0; i < nr; ++i) {
+      const auto& p = parent[r0 + i];
+      if (p.col >= c0 && p.col < c0 + nc) {
+        EXPECT_EQ(want[i].value, p.value)
+            << repro(GetParam()) << " (sub-row " << i << ")";
+      } else {
+        // The window excludes the true minimum: the restricted answer
+        // can only be worse (or equal on a tie elsewhere).
+        EXPECT_GE(want[i].value, p.value)
+            << repro(GetParam()) << " (sub-row " << i << ")";
+      }
+    }
+  }
+}
+
+TEST_P(Properties, RowSelectRestriction) {
+  // Selecting a subset of rows changes nothing about each selected
+  // row's minimum: the view's answer for position i must equal the
+  // parent's answer for rows[i], column index included.
+  Rng rng(GetParam() + 5000);
+  for (int t = 0; t < 5; ++t) {
+    const auto [m, n] = random_shape(rng, 48);
+    const auto a = monge::random_monge(m, n, rng, 2, 15);
+    std::vector<std::size_t> picked;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (rng.chance(0.4)) picked.push_back(i);
+    }
+    if (picked.empty()) picked.push_back(m / 2);
+    monge::RowSelect<DenseArray<std::int64_t>> sel(a, picked);
+    ASSERT_TRUE(monge::is_monge(sel)) << repro(GetParam());
+    const auto parent = monge::smawk_row_minima(a);
+    const auto got = monge::smawk_row_minima(sel);
+    ASSERT_EQ(got.size(), picked.size());
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+      EXPECT_EQ(got[i], parent[picked[i]])
+          << repro(GetParam()) << " (selected row " << picked[i] << ")";
+    }
+  }
+}
+
+TEST_P(Properties, StaircaseFrontierMonotonicity) {
+  // Two identities for staircase restriction: a full frontier is the
+  // dense problem in disguise, and lowering the frontier (shrinking each
+  // row's feasible prefix) can only raise -- never lower -- each row's
+  // minimum.  Rows whose frontier reaches 0 report {inf, kNoCol}.
+  Rng rng(GetParam() + 6000);
+  for (int t = 0; t < 5; ++t) {
+    const auto [m, n] = random_shape(rng, 40);
+    const auto a = monge::random_monge(m, n, rng, 2, 15);
+
+    StaircaseArray<DenseArray<std::int64_t>> full(
+        a, std::vector<std::size_t>(m, n));
+    EXPECT_EQ(monge::staircase_row_minima_seq(full),
+              monge::smawk_row_minima(a))
+        << repro(GetParam()) << " (full frontier, m=" << m << " n=" << n
+        << ")";
+
+    const auto inst = monge::random_staircase_monge(m, n, rng);
+    StaircaseArray<DenseArray<std::int64_t>> s(inst.base, inst.frontier);
+    const auto base_mins = monge::staircase_row_minima_seq(
+        StaircaseArray<DenseArray<std::int64_t>>(
+            inst.base, std::vector<std::size_t>(m, n)));
+    const auto want = monge::row_minima_brute(s);
+    const auto got = monge::staircase_row_minima_seq(s);
+    Machine mach(Model::CRCW_COMMON);
+    const auto par_got = par::staircase_row_minima(mach, s);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(got[i], want[i]) << repro(GetParam()) << " (row " << i << ")";
+      EXPECT_EQ(par_got[i], want[i])
+          << repro(GetParam()) << " (row " << i << ")";
+      if (got[i].col == kNoCol) {
+        EXPECT_EQ(inst.frontier[i], 0u)
+            << repro(GetParam()) << " (row " << i << ")";
+      } else {
+        EXPECT_LT(got[i].col, inst.frontier[i])
+            << repro(GetParam()) << " (row " << i << ")";
+        EXPECT_GE(got[i].value, base_mins[i].value)
+            << repro(GetParam()) << " (row " << i << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Properties,
+                         ::testing::ValuesIn(property_seeds()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pmonge
