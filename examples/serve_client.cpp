@@ -1,20 +1,42 @@
-// Example: driving the serve layer in-process.  The same NDJSON requests
-// work over a pipe against the pmonge-serve binary:
+// Example: driving the NDJSON protocol over a REAL TCP socket with the
+// rpc client library (docs/networking.md).  The example embeds the same
+// server `pmonge-serve --listen` runs -- service + epoll loop -- on an
+// ephemeral loopback port, so it is fully self-contained; point the
+// client at any running `pmonge-serve --listen HOST:PORT` instead and
+// the exchange is byte-identical:
 //
-//   ./build/examples/serve_client          # in-process, prints the exchange
-//   ./build/src/pmonge-serve < requests.ndjson
+//   ./build/examples/serve_client                  # self-contained
+//   ./build/src/pmonge-serve --listen 127.0.0.1:7333 &   # or a real server
 //
 // Shows the whole protocol surface: registering arrays (random and
 // explicit), row searches on Monge / inverse-Monge / staircase operands,
-// tube queries on a composite, application queries, and `stats`.
+// tube queries on a composite, application queries, `stats` -- plus the
+// client-side idioms: synchronous request(), pipeline() for coalescing
+// bursts, and shutdown_write() for a clean goodbye.
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
 #include "serve/service.hpp"
 
 int main() {
+  // The server half: exactly what `pmonge-serve --listen 127.0.0.1:0`
+  // assembles.  Port 0 binds an ephemeral port we read back.
   pmonge::serve::Service svc;
+  pmonge::rpc::ServerOptions sopts;
+  sopts.host = "127.0.0.1";
+  sopts.port = 0;
+  pmonge::rpc::Server server(svc, sopts);
+  server.listen();
+  std::thread loop([&server] { server.run(); });
+  std::cout << "serving on 127.0.0.1:" << server.port() << "\n\n";
+
+  // The client half: a blocking socket client speaking one JSON object
+  // per line.  Against a remote server this is the only half you need.
+  pmonge::rpc::Client client("127.0.0.1", server.port());
 
   const std::vector<std::string> requests = {
       // Control plane: register operands.  Responses carry the array id.
@@ -26,7 +48,7 @@ int main() {
       R"({"op":"register_random","id":5,"rows":48,"cols":16,"seed":13})",
 
       // Query plane.  Repeats of one signature hit the result cache; all
-      // of these coalesce into few engine runs when submitted as a burst.
+      // of these coalesce into few engine runs when pipelined as a burst.
       R"({"op":"rowmin","id":10,"array":0,"row":5})",
       R"({"op":"rowmin","id":11,"array":0,"row":6})",
       R"({"op":"rowmax","id":12,"array":1,"row":3})",
@@ -46,11 +68,23 @@ int main() {
       R"({"op":"stats","id":21})",
   };
 
-  // request_batch submits everything up front (so the batcher actually
-  // coalesces) and returns responses aligned with the requests.
-  const std::vector<std::string> responses = svc.request_batch(requests);
+  // pipeline() sends every line before reading any response (so the
+  // server's batcher actually coalesces) and collects the responses in
+  // order -- the socket equivalent of Service::request_batch.
+  const std::vector<std::string> responses = client.pipeline(requests);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     std::cout << ">> " << requests[i] << "\n<< " << responses[i] << "\n\n";
   }
+
+  // A clean goodbye: half-close the write side, let the server drain
+  // and close, then stop the embedded loop.
+  client.shutdown_write();
+  try {
+    client.recv_line();
+  } catch (const pmonge::rpc::RpcError&) {
+    // EOF: the server closed after draining -- the expected path.
+  }
+  server.request_stop();
+  loop.join();
   return 0;
 }

@@ -2,7 +2,8 @@
 //
 // Named injection sites are compiled into the hot paths of exec (chunk
 // delay / chunk exception), serve (admission jitter, group failure,
-// cache poisoning, slow response writes) and plan (plan corruption).
+// cache poisoning, slow response writes), plan (plan corruption) and the
+// rpc transport (connection drops, read stalls).
 // Disarmed -- the default -- every site costs ONE relaxed atomic load,
 // the same contract PMONGE_TRACE holds for spans, so production binaries
 // carry the sites for free (bench_serve gates the overhead at 2%).
@@ -46,9 +47,13 @@ enum class Site : std::uint32_t {
   ServeCachePoison,    // serve.cache_poison: corrupt a cached value byte
   ServeSlowResponse,   // serve.slow_response: sleep before promises resolve
   PlanCorruptPlan,     // plan.corrupt_plan: planner output scrambled
+  RpcConnDrop,         // rpc.conn_drop: abruptly close a TCP connection at
+                       // response-write time (client sees EOF, answers lost)
+  RpcReadStall,        // rpc.read_stall: seeded delay before draining a
+                       // readable socket (latency only, never bytes)
 };
 
-inline constexpr std::size_t kSiteCount = 7;
+inline constexpr std::size_t kSiteCount = 9;
 inline constexpr std::uint32_t kAllSites = (1u << kSiteCount) - 1;
 
 const char* site_name(Site s);

@@ -357,6 +357,43 @@ std::string prometheus_text(const Json& stats) {
            {"dropped", "pmonge_trace_dropped_spans_total",
             "Spans dropped by full or contended rings", "counter"}});
 
+  // Present only when the TCP front-end is live (Service::set_extra_stats).
+  section(w, stats.find("rpc"),
+          {{"accepted", "pmonge_rpc_connections_accepted_total",
+            "TCP connections accepted", "counter"},
+           {"rejected", "pmonge_rpc_connections_rejected_total",
+            "Connections rejected over --max-conns", "counter"},
+           {"closed", "pmonge_rpc_connections_closed_total",
+            "Connections closed in an orderly way", "counter"},
+           {"dropped", "pmonge_rpc_connections_dropped_total",
+            "Connections dropped by the rpc.conn_drop fault site", "counter"},
+           {"overflow_dropped", "pmonge_rpc_connections_overflow_total",
+            "Connections dropped at the hard outbound-buffer valve",
+            "counter"},
+           {"idle_closed", "pmonge_rpc_connections_idle_closed_total",
+            "Connections closed by the idle timeout", "counter"},
+           {"active", "pmonge_rpc_connections_active",
+            "Currently open connections", "gauge"},
+           {"conn_high_water", "pmonge_rpc_connections_high_water",
+            "Peak concurrent connections", "gauge"},
+           {"lines_in", "pmonge_rpc_lines_in_total",
+            "Request lines framed off sockets", "counter"},
+           {"responses_out", "pmonge_rpc_responses_out_total",
+            "Response lines fully written to sockets", "counter"},
+           {"oversized_lines", "pmonge_rpc_oversized_lines_total",
+            "Lines rejected as oversized", "counter"},
+           {"overload_rejected", "pmonge_rpc_overload_rejected_total",
+            "Framed lines rejected `overloaded` past the inflight valve",
+            "counter"},
+           {"bytes_in", "pmonge_rpc_bytes_in_total", "Bytes read from sockets",
+            "counter"},
+           {"bytes_out", "pmonge_rpc_bytes_out_total",
+            "Bytes written to sockets", "counter"},
+           {"read_pauses", "pmonge_rpc_read_pauses_total",
+            "Backpressure engagements (reads paused)", "counter"},
+           {"outbound_high_water_bytes", "pmonge_rpc_outbound_high_water_bytes",
+            "Peak per-connection outbound buffer bytes", "gauge"}});
+
   return w.take();
 }
 

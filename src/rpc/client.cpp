@@ -1,0 +1,134 @@
+#include "rpc/client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pmonge::rpc {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), framer_(std::move(other.framer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    framer_ = std::move(other.framer_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw RpcError("rpc: cannot resolve \"" + host + ":" + port_str +
+                   "\": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int err = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      err = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    err = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw RpcError("rpc: cannot connect to \"" + host + ":" + port_str +
+                   "\": " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  framer_ = LineFramer(std::size_t{64} << 20);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::send_line(const std::string& line) {
+  if (fd_ < 0) throw RpcError("rpc: not connected");
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t k = ::send(fd_, framed.data() + off, framed.size() - off,
+                             MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      throw RpcError(std::string("rpc: send failed: ") + std::strerror(err));
+    }
+    off += static_cast<std::size_t>(k);
+  }
+}
+
+std::string Client::recv_line() {
+  if (fd_ < 0) throw RpcError("rpc: not connected");
+  std::string line;
+  while (true) {
+    const LineFramer::Result r = framer_.next(line);
+    if (r == LineFramer::Result::Line) return line;
+    if (r == LineFramer::Result::Oversized) {
+      throw RpcError("rpc: oversized response line");
+    }
+    char buf[65536];
+    const ssize_t k = ::recv(fd_, buf, sizeof(buf), 0);
+    if (k == 0) {
+      close();
+      throw RpcError("rpc: connection closed by server");
+    }
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      throw RpcError(std::string("rpc: recv failed: ") + std::strerror(err));
+    }
+    framer_.feed(buf, static_cast<std::size_t>(k));
+  }
+}
+
+std::string Client::request(const std::string& line) {
+  send_line(line);
+  return recv_line();
+}
+
+std::vector<std::string> Client::pipeline(
+    const std::vector<std::string>& lines) {
+  for (const auto& l : lines) send_line(l);
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) out.push_back(recv_line());
+  return out;
+}
+
+}  // namespace pmonge::rpc

@@ -1,0 +1,396 @@
+// pmonge-loadgen: load generator for pmonge-serve --listen
+// (docs/networking.md).  Two driving disciplines over N connections:
+//
+//   closed loop (default): each connection keeps a fixed window of
+//   pipelined requests outstanding (--window, default 1) -- throughput
+//   is whatever the server sustains, latency excludes queueing at the
+//   client.
+//
+//   open loop (--rate R): requests arrive by a Poisson process at R
+//   req/s total (exponential inter-arrival times, split evenly across
+//   connections), sent regardless of whether earlier responses came
+//   back -- the discipline that surfaces real tail latency, because a
+//   slow server cannot slow the arrival process down
+//   (coordinated-omission-free by construction).
+//
+// The workload is a seeded deterministic mix over registered arrays:
+// each connection registers its own Monge and staircase operands during
+// an untimed setup phase, then draws rowmin / rowmax / staircase_rowmin
+// / string_edit queries from an Rng derived from --seed and the
+// connection index.  Same seed, same flags => byte-identical request
+// streams.
+//
+// Reported: achieved throughput and exact (sorted-sample) p50 / p95 /
+// p99 / p99.9 latency, per the usual bench conventions:
+//
+//   $ pmonge-loadgen --port 7333 --conns 32 --duration-s 5 --rate 2000
+//       --seed 42 --json=BENCH_net.json
+//
+// Exit status: 0 on success; 1 when any request failed (transport error
+// or an unexpected error response -- `overloaded` rejections are
+// counted and reported, not failures) or when --p99-gate-us is set and
+// breached.  CI's `net` job is built on exactly that contract.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "rpc/client.hpp"
+#include "serve/json.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using pmonge::serve::Json;
+
+struct ConnResult {
+  std::vector<double> latencies_us;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;
+  std::string first_error;
+};
+
+struct Workload {
+  // Per-connection deterministic request stream over the arrays the
+  // connection registered in setup.
+  pmonge::Rng rng;
+  std::int64_t monge_array = -1;
+  std::int64_t staircase_array = -1;
+  std::int64_t rows = 0;
+  std::int64_t next_id = 1;
+
+  explicit Workload(std::uint64_t seed) : rng(seed) {}
+
+  std::string next_request() {
+    const std::int64_t id = next_id++;
+    const double dice = rng.uniform01();
+    const std::int64_t row = rng.uniform_int(0, rows - 1);
+    if (dice < 0.55) {
+      return R"({"op":"rowmin","id":)" + std::to_string(id) +
+             R"(,"array":)" + std::to_string(monge_array) + R"(,"row":)" +
+             std::to_string(row) + "}";
+    }
+    if (dice < 0.75) {
+      return R"({"op":"rowmax","id":)" + std::to_string(id) +
+             R"(,"array":)" + std::to_string(monge_array) + R"(,"row":)" +
+             std::to_string(row) + "}";
+    }
+    if (dice < 0.9) {
+      return R"({"op":"staircase_rowmin","id":)" + std::to_string(id) +
+             R"(,"array":)" + std::to_string(staircase_array) + R"(,"row":)" +
+             std::to_string(row) + "}";
+    }
+    static const char* kWords[] = {"kitten",  "sitting", "monge",
+                                   "montage", "parallel", "partial"};
+    const auto x = kWords[rng.uniform_int(0, 5)];
+    const auto y = kWords[rng.uniform_int(0, 5)];
+    return R"({"op":"string_edit","id":)" + std::to_string(id) +
+           R"(,"x":")" + x + R"(","y":")" + y + R"("})";
+  }
+};
+
+/// Classify a response line: ok, an `overloaded`-family rejection, or a
+/// real failure (recorded in `r`).
+void tally(const std::string& resp, ConnResult& r) {
+  try {
+    const Json j = Json::parse(resp);
+    const Json* ok = j.find("ok");
+    if (ok != nullptr && ok->as_bool()) return;
+    const Json* err = j.find("error");
+    const std::string msg = err != nullptr ? err->as_string() : resp;
+    if (msg.rfind("overloaded", 0) == 0 ||
+        msg.rfind("deadline_", 0) == 0) {
+      ++r.overloaded;
+      return;
+    }
+    ++r.errors;
+    if (r.first_error.empty()) r.first_error = msg;
+  } catch (const std::exception& e) {
+    ++r.errors;
+    if (r.first_error.empty()) {
+      r.first_error = std::string("unparseable response: ") + e.what();
+    }
+  }
+}
+
+/// Untimed setup: register this connection's operands and learn their ids.
+bool setup(pmonge::rpc::Client& c, Workload& w, std::uint64_t seed,
+           std::int64_t rows, std::int64_t cols, std::string& err) {
+  const auto reg = [&](const std::string& req) -> std::int64_t {
+    const Json j = Json::parse(c.request(req));
+    const Json* ok = j.find("ok");
+    if (ok == nullptr || !ok->as_bool()) {
+      const Json* e = j.find("error");
+      err = e != nullptr ? e->as_string() : "registration failed";
+      return -1;
+    }
+    return j.find("result")->find("array")->as_int();
+  };
+  w.rows = rows;
+  w.monge_array =
+      reg(R"({"op":"register_random","id":0,"rows":)" + std::to_string(rows) +
+          R"(,"cols":)" + std::to_string(cols) + R"(,"seed":)" +
+          std::to_string(seed) + "}");
+  if (w.monge_array < 0) return false;
+  w.staircase_array =
+      reg(R"({"op":"register_random","id":0,"rows":)" + std::to_string(rows) +
+          R"(,"cols":)" + std::to_string(cols) +
+          R"(,"kind":"staircase","seed":)" + std::to_string(seed + 1) + "}");
+  return w.staircase_array >= 0;
+}
+
+/// Closed loop: a sliding window of `window` pipelined requests; every
+/// response immediately refills the window until the deadline passes.
+void run_closed(pmonge::rpc::Client& c, Workload& w, Clock::time_point until,
+                std::size_t window, ConnResult& r) {
+  std::deque<Clock::time_point> sent_at;
+  const auto send_one = [&] {
+    const std::string req = w.next_request();
+    sent_at.push_back(Clock::now());
+    c.send_line(req);
+    ++r.sent;
+  };
+  for (std::size_t i = 0; i < window; ++i) send_one();
+  while (!sent_at.empty()) {
+    const std::string resp = c.recv_line();
+    const auto now = Clock::now();
+    r.latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(now - sent_at.front())
+            .count());
+    sent_at.pop_front();
+    ++r.received;
+    tally(resp, r);
+    if (now < until) send_one();
+  }
+}
+
+/// Open loop: the sender thread paces a Poisson arrival process and never
+/// waits for responses; the receiver matches responses FIFO (the server
+/// answers per connection in submission order).
+void run_open(pmonge::rpc::Client& c, Workload& w, Clock::time_point start,
+              Clock::time_point until, double conn_rate, ConnResult& r) {
+  std::mutex mu;
+  std::deque<Clock::time_point> sent_at;
+  std::atomic<bool> sender_done{false};
+
+  std::thread receiver([&] {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (sent_at.empty() && sender_done.load()) break;
+      }
+      if ([&] {
+            std::lock_guard<std::mutex> lock(mu);
+            return sent_at.empty();
+          }()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      const std::string resp = c.recv_line();
+      const auto now = Clock::now();
+      Clock::time_point t0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        t0 = sent_at.front();
+        sent_at.pop_front();
+      }
+      r.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(now - t0).count());
+      ++r.received;
+      tally(resp, r);
+    }
+  });
+
+  pmonge::Rng arrivals(w.rng());  // arrival process independent of the mix
+  auto next = start;
+  while (true) {
+    // Exponential inter-arrival: -ln(1-U)/lambda.
+    const double gap_s = -std::log1p(-arrivals.uniform01()) / conn_rate;
+    next += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap_s));
+    if (next >= until) break;
+    std::this_thread::sleep_until(next);
+    const std::string req = w.next_request();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      sent_at.push_back(Clock::now());
+    }
+    c.send_line(req);
+    ++r.sent;
+  }
+  sender_done.store(true);
+  receiver.join();
+}
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmonge::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::puts(
+        "pmonge-loadgen: load generator for pmonge-serve --listen\n"
+        "  --host H         server host (default 127.0.0.1)\n"
+        "  --port P         server port (required)\n"
+        "  --conns N        concurrent connections (default 8)\n"
+        "  --duration-s S   measured duration in seconds (default 5)\n"
+        "  --rate R         open loop: total request rate in req/s,\n"
+        "                   Poisson arrivals; 0 = closed loop (default 0)\n"
+        "  --window D       closed loop: pipelined requests per connection\n"
+        "                   (default 1)\n"
+        "  --seed S         workload seed (default 42)\n"
+        "  --rows N --cols N  registered operand shape (default 64x48)\n"
+        "  --p99-gate-us N  exit 1 if p99 latency exceeds N microseconds\n"
+        "  --json[=PATH]    write the result record (default BENCH_net.json)");
+    return 0;
+  }
+  if (!cli.has("port")) {
+    std::fprintf(stderr, "pmonge-loadgen: --port is required (see --help)\n");
+    return 2;
+  }
+  const std::string host = cli.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  const auto conns = static_cast<std::size_t>(cli.get_int("conns", 8));
+  const double duration_s =
+      static_cast<double>(cli.get_int("duration-s", 5));
+  const double rate = static_cast<double>(cli.get_int("rate", 0));
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 1));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::int64_t rows = cli.get_int("rows", 64);
+  const std::int64_t cols = cli.get_int("cols", 48);
+  const std::int64_t gate_us = cli.get_int("p99-gate-us", -1);
+
+  // Connect + untimed setup for every connection before the clock starts.
+  std::vector<pmonge::rpc::Client> clients(conns);
+  std::vector<Workload> work;
+  work.reserve(conns);
+  std::vector<ConnResult> results(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    const std::uint64_t conn_seed = seed * 1000003ULL + i;
+    work.emplace_back(conn_seed);
+    std::string err;
+    try {
+      clients[i].connect(host, port);
+      if (!setup(clients[i], work[i], conn_seed, rows, cols, err)) {
+        std::fprintf(stderr, "pmonge-loadgen: conn %zu setup: %s\n", i,
+                     err.c_str());
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pmonge-loadgen: conn %zu: %s\n", i, e.what());
+      return 1;
+    }
+  }
+
+  const auto start = Clock::now();
+  const auto until =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(duration_s));
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        if (rate > 0) {
+          run_open(clients[i], work[i], start, until,
+                   rate / static_cast<double>(conns), results[i]);
+        } else {
+          run_closed(clients[i], work[i], until, window, results[i]);
+        }
+      } catch (const std::exception& e) {
+        ++results[i].errors;
+        if (results[i].first_error.empty()) results[i].first_error = e.what();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> lat;
+  std::uint64_t sent = 0, received = 0, overloaded = 0, errors = 0;
+  std::string first_error;
+  for (const auto& r : results) {
+    lat.insert(lat.end(), r.latencies_us.begin(), r.latencies_us.end());
+    sent += r.sent;
+    received += r.received;
+    overloaded += r.overloaded;
+    errors += r.errors;
+    if (first_error.empty()) first_error = r.first_error;
+  }
+  std::sort(lat.begin(), lat.end());
+  const double p50 = quantile(lat, 0.50);
+  const double p95 = quantile(lat, 0.95);
+  const double p99 = quantile(lat, 0.99);
+  const double p999 = quantile(lat, 0.999);
+  const double throughput =
+      elapsed_s > 0 ? static_cast<double>(received) / elapsed_s : 0;
+
+  std::printf(
+      "mode=%s conns=%zu duration=%.2fs sent=%llu received=%llu "
+      "overloaded=%llu errors=%llu\n",
+      rate > 0 ? "open" : "closed", conns, elapsed_s,
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(received),
+      static_cast<unsigned long long>(overloaded),
+      static_cast<unsigned long long>(errors));
+  std::printf("throughput=%.1f req/s\n", throughput);
+  std::printf("latency_us p50=%.1f p95=%.1f p99=%.1f p99.9=%.1f\n", p50, p95,
+              p99, p999);
+  if (errors > 0) {
+    std::fprintf(stderr, "pmonge-loadgen: first error: %s\n",
+                 first_error.c_str());
+  }
+
+  auto records = pmonge::bench::JsonRecords::from_cli(cli, "net",
+                                                      "BENCH_net.json");
+  Json::Obj rec;
+  rec["mode"] = std::string(rate > 0 ? "open" : "closed");
+  rec["conns"] = static_cast<std::int64_t>(conns);
+  rec["rate"] = rate;
+  rec["window"] = static_cast<std::int64_t>(window);
+  rec["seed"] = static_cast<std::int64_t>(seed);
+  rec["rows"] = rows;
+  rec["cols"] = cols;
+  rec["duration_s"] = elapsed_s;
+  rec["sent"] = static_cast<std::int64_t>(sent);
+  rec["received"] = static_cast<std::int64_t>(received);
+  rec["overloaded"] = static_cast<std::int64_t>(overloaded);
+  rec["errors"] = static_cast<std::int64_t>(errors);
+  rec["throughput_rps"] = throughput;
+  rec["p50_us"] = p50;
+  rec["p95_us"] = p95;
+  rec["p99_us"] = p99;
+  rec["p999_us"] = p999;
+  rec["repro"] = pmonge::bench::repro_line(
+      "PMONGE_LOADGEN_SEED=" + std::to_string(seed), "rpc");
+  records.add(std::move(rec));
+  records.write();
+
+  if (errors > 0) return 1;
+  if (gate_us >= 0 && p99 > static_cast<double>(gate_us)) {
+    std::fprintf(stderr,
+                 "pmonge-loadgen: p99 gate breached: %.1fus > %lldus\n", p99,
+                 static_cast<long long>(gate_us));
+    return 1;
+  }
+  return 0;
+}

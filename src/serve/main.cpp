@@ -1,22 +1,38 @@
 // pmonge-serve: newline-delimited JSON service front-end over
-// serve::Service.  One request object per stdin line, one response object
-// per stdout line, in request order (the admission queue is FIFO, so
-// in-order awaiting never starves).  EOF on stdin drains in-flight work
-// and exits.
+// serve::Service, in two transport modes:
 //
-//   $ printf '%s\n%s\n' <register_random request> <rowmin request> \
-//       | pmonge-serve
-// (see docs/serving.md and examples/serve_client.cpp for full requests)
+//   stdin mode (default): one request object per stdin line, one
+//   response object per stdout line, in request order (the admission
+//   queue is FIFO, so in-order awaiting never starves).  EOF on stdin
+//   drains in-flight work and exits.  The reader honors the shared
+//   backpressure contract (rpc/backpressure.hpp): at most max_inflight
+//   submitted-but-unanswered lines, so a fast pipe cannot grow the
+//   pending window without bound.
+//
+//   --listen HOST:PORT: the same protocol over TCP (rpc/server.hpp) --
+//   an epoll event loop multiplexes concurrent connections onto the one
+//   service, with per-connection backpressure, --max-conns, idle
+//   timeouts, and graceful drain on SIGTERM/SIGINT.  Response bytes are
+//   identical to stdin mode.  PORT 0 binds an ephemeral port (printed
+//   on stderr).
+//
+//   $ printf '%s\n%s\n' <register request> <rowmin request> | pmonge-serve
+//   $ pmonge-serve --listen 127.0.0.1:7333
+// (see docs/serving.md, docs/networking.md, examples/serve_client.cpp)
 //
 // Flags (see docs/serving.md): --queue N --batch N --cache N --shards N
 // --no-batch --no-cache --model NAME --deadline-ms N --max-cells N
 // --profile PATH --no-plan --calibrate PATH (PMONGE_PROFILE is the env
 // equivalent of --profile; the flag wins when both are set) plus the
 // resilience knobs --retries --op-timeout-ms --breaker-threshold
-// --breaker-cooldown (docs/robustness.md)
+// --breaker-cooldown (docs/robustness.md) and the transport knobs
+// --listen --max-conns --max-inflight --max-line-bytes --idle-timeout-ms
+// --drain-timeout-ms (docs/networking.md)
+#include <csignal>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <atomic>
 #include <deque>
 #include <fstream>
 #include <future>
@@ -31,6 +47,8 @@
 #include "obs/trace.hpp"
 #include "plan/calibrate.hpp"
 #include "pram/machine.hpp"
+#include "rpc/backpressure.hpp"
+#include "rpc/server.hpp"
 #include "serve/service.hpp"
 #include "support/cli.hpp"
 
@@ -49,6 +67,34 @@ pmonge::pram::Model parse_model(const std::string& name) {
   std::exit(2);
 }
 
+// --listen target for the signal handlers.  request_stop() is
+// async-signal-safe (one atomic store + one write(2)) and the pointer
+// load is lock-free, so the handler body is safe.
+std::atomic<pmonge::rpc::Server*> g_server{nullptr};
+
+void handle_stop_signal(int) {
+  if (pmonge::rpc::Server* s = g_server.load(std::memory_order_acquire)) {
+    s->request_stop();
+  }
+}
+
+// Writes the whole-process Chrome trace, if --trace-out asked for one.
+// A path that cannot be written is a hard error: the user asked for it.
+int write_trace(const std::string& trace_out) {
+  if (trace_out.empty()) return 0;
+  const std::string doc =
+      pmonge::obs::chrome_trace_json(pmonge::obs::collect()).dump();
+  std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "pmonge-serve: cannot write trace to \"%s\"\n",
+                 trace_out.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,6 +103,20 @@ int main(int argc, char** argv) {
     std::puts(
         "pmonge-serve: NDJSON query service (one request per line on stdin,\n"
         "one response per line on stdout; see docs/serving.md)\n"
+        "  --listen HOST:PORT serve the same protocol over TCP instead of\n"
+        "                   stdin/stdout (port 0 = ephemeral, printed on\n"
+        "                   stderr; see docs/networking.md)\n"
+        "  --max-conns N    TCP only: concurrent connection cap; surplus\n"
+        "                   connects get one `overloaded` line (default 256)\n"
+        "  --max-inflight N submitted-but-unanswered lines per connection\n"
+        "                   (and for the stdin reader) before the transport\n"
+        "                   stops reading (default 128)\n"
+        "  --max-line-bytes N  TCP only: oversized-line threshold\n"
+        "                   (default 1048576)\n"
+        "  --idle-timeout-ms N  TCP only: close idle connections, <=0\n"
+        "                   disables (default 300000)\n"
+        "  --drain-timeout-ms N TCP only: graceful-drain bound on\n"
+        "                   SIGTERM/SIGINT (default 5000)\n"
         "  --queue N        admission queue capacity (default 1024)\n"
         "  --batch N        max requests coalesced per batch (default 64)\n"
         "  --cache N        result cache capacity, 0 disables (default 4096)\n"
@@ -89,6 +149,10 @@ int main(int argc, char** argv) {
         "points; unset or 0 = off), PMONGE_FAULT_SEED, PMONGE_FAULT_SITES.");
     return 0;
   }
+
+  // A vanished peer (closed stdout pipe, dropped TCP connection) must be
+  // a write error we handle, never a SIGPIPE death.
+  std::signal(SIGPIPE, SIG_IGN);
 
   // Touch the engine knobs eagerly: the pool initializes lazily, so a
   // malformed PMONGE_THREADS / PMONGE_GRAIN / PMONGE_TRACE would
@@ -162,11 +226,88 @@ int main(int argc, char** argv) {
     }
   }
 
+  pmonge::rpc::BackpressureLimits limits;
+  limits.max_inflight =
+      static_cast<std::size_t>(cli.get_int("max-inflight", 128));
+  if (limits.overload_inflight < limits.max_inflight * 2) {
+    limits.overload_inflight = limits.max_inflight * 2;
+  }
+
   pmonge::serve::Service service(opts);
 
-  // The reader thread submits lines as fast as stdin yields them (so
-  // bursts actually coalesce); the main thread awaits and prints in
-  // submission order.
+  if (cli.has("listen")) {
+    // --listen HOST:PORT (":PORT" and bare "PORT" default the host).
+    const std::string addr = cli.get("listen", "");
+    pmonge::rpc::ServerOptions sopts;
+    sopts.limits = limits;
+    const std::size_t colon = addr.rfind(':');
+    std::string port_str;
+    if (colon == std::string::npos) {
+      port_str = addr;
+    } else {
+      if (colon > 0) sopts.host = addr.substr(0, colon);
+      port_str = addr.substr(colon + 1);
+    }
+    try {
+      if (port_str.empty()) throw std::invalid_argument("empty port");
+      const unsigned long p = std::stoul(port_str);
+      if (p > 65535) throw std::out_of_range("port > 65535");
+      sopts.port = static_cast<std::uint16_t>(p);
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "pmonge-serve: --listen wants HOST:PORT, got \"%s\"\n",
+                   addr.c_str());
+      return 2;
+    }
+    sopts.max_conns = static_cast<std::size_t>(cli.get_int("max-conns", 256));
+    sopts.max_line_bytes =
+        static_cast<std::size_t>(cli.get_int("max-line-bytes", 1 << 20));
+    sopts.idle_timeout_ms = cli.get_int("idle-timeout-ms", 300000);
+    sopts.drain_timeout_ms = cli.get_int("drain-timeout-ms", 5000);
+
+    pmonge::rpc::Server server(service, sopts);
+    try {
+      server.listen();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pmonge-serve: %s\n", e.what());
+      return 2;
+    }
+    service.set_extra_stats(
+        "rpc", [&server] { return server.stats_json(); });
+
+    g_server.store(&server, std::memory_order_release);
+    struct sigaction sa {};
+    sa.sa_handler = handle_stop_signal;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    std::fprintf(stderr, "pmonge-serve: listening on %s:%u\n",
+                 sopts.host.c_str(), static_cast<unsigned>(server.port()));
+    server.run();
+    g_server.store(nullptr, std::memory_order_release);
+
+    const pmonge::rpc::ServerStats& st = server.stats();
+    std::fprintf(stderr,
+                 "pmonge-serve: drained (conns=%llu lines=%llu "
+                 "responses=%llu dropped=%llu)\n",
+                 static_cast<unsigned long long>(st.accepted.load()),
+                 static_cast<unsigned long long>(st.lines_in.load()),
+                 static_cast<unsigned long long>(st.responses_out.load()),
+                 static_cast<unsigned long long>(st.dropped_conns.load() +
+                                                 st.overflow_drops.load()));
+    return write_trace(trace_out);
+  }
+
+  // stdin mode.  The reader thread submits lines as stdin yields them
+  // (so bursts actually coalesce); the main thread awaits and prints in
+  // submission order.  The limiter is the reader-side valve of the
+  // shared backpressure contract: once max_inflight submissions are
+  // unanswered, the reader blocks instead of growing `pending`.
+  pmonge::rpc::InflightLimiter limiter(limits.max_inflight);
+  std::atomic<std::uint64_t> lines_in{0};
+  std::uint64_t responses_out = 0;
+
   std::mutex mu;
   std::condition_variable cv;
   std::deque<std::future<std::string>> pending;
@@ -176,6 +317,8 @@ int main(int argc, char** argv) {
     std::string line;
     while (std::getline(std::cin, line)) {
       if (line.empty()) continue;
+      limiter.acquire();
+      lines_in.fetch_add(1, std::memory_order_relaxed);
       auto fut = service.submit(std::move(line));
       {
         std::lock_guard<std::mutex> lock(mu);
@@ -200,27 +343,29 @@ int main(int argc, char** argv) {
       pending.pop_front();
     }
     const std::string resp = fut.get();
-    std::fwrite(resp.data(), 1, resp.size(), stdout);
-    std::fputc('\n', stdout);
-    std::fflush(stdout);
+    limiter.release();
+    const bool wrote =
+        std::fwrite(resp.data(), 1, resp.size(), stdout) == resp.size() &&
+        std::fputc('\n', stdout) != EOF && std::fflush(stdout) == 0;
+    if (!wrote) {
+      // The consumer went away (closed pipe).  SIGPIPE is ignored, so
+      // this is an orderly exit: report what was served and what was
+      // still in flight, then leave without unwinding -- the reader may
+      // be parked in getline() and std::exit() skips joining it.
+      std::fprintf(
+          stderr,
+          "pmonge-serve: stdout closed; exiting (lines=%llu responses=%llu "
+          "in_flight=%llu)\n",
+          static_cast<unsigned long long>(
+              lines_in.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(responses_out),
+          static_cast<unsigned long long>(limiter.inflight()));
+      std::exit(0);
+    }
+    ++responses_out;
   }
 
   reader.join();
 
-  if (!trace_out.empty()) {
-    // Everything still buffered across every thread's ring, as one
-    // Perfetto-loadable document.  A path that cannot be written is a
-    // hard error: the user asked for the trace.
-    const std::string doc =
-        pmonge::obs::chrome_trace_json(pmonge::obs::collect()).dump();
-    std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
-    out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-    out.flush();
-    if (!out) {
-      std::fprintf(stderr, "pmonge-serve: cannot write trace to \"%s\"\n",
-                   trace_out.c_str());
-      return 2;
-    }
-  }
-  return 0;
+  return write_trace(trace_out);
 }

@@ -53,10 +53,8 @@ Service::~Service() {
 void Service::pause() { queue_->pause(true); }
 void Service::resume() { queue_->pause(false); }
 
-std::future<std::string> Service::submit(std::string line) {
+void Service::submit_cb(std::string line, ResponseCallback done) {
   obs::Span span("serve.admit");
-  std::promise<std::string> promise;
-  std::future<std::string> fut = promise.get_future();
 
   Request req;
   try {
@@ -67,8 +65,8 @@ std::future<std::string> Service::submit(std::string line) {
     // raw lexer failures get the parse_error category here.
     std::string msg = e.what();
     if (!msg.starts_with("bad_request: ")) msg = "parse_error: " + msg;
-    promise.set_value(make_error_response(kNoId, std::move(msg)));
-    return fut;
+    done(make_error_response(kNoId, std::move(msg)));
+    return;
   }
 
   span.set_detail(req.op);
@@ -80,8 +78,8 @@ std::future<std::string> Service::submit(std::string line) {
     const auto t0 = ServeClock::now();
     std::string resp = handle_control(req);
     em.latency_us.record(us_between(t0, ServeClock::now()));
-    promise.set_value(std::move(resp));
-    return fut;
+    done(std::move(resp));
+    return;
   }
 
   // Query ops: mint a trace id when tracing is on and the client did not
@@ -110,13 +108,13 @@ std::future<std::string> Service::submit(std::string line) {
     if (predicted_us > static_cast<double>(deadline_ms) * 1000.0) {
       em.unmeetable.add();
       em.errors.add();
-      promise.set_value(make_error_response(
+      done(make_error_response(
           req.id,
           "deadline_unmeetable: predicted " +
               std::to_string(
                   static_cast<std::int64_t>(std::llround(predicted_us))) +
               "us exceeds deadline " + std::to_string(deadline_ms) + "ms"));
-      return fut;
+      return;
     }
   }
   // Admission jitter site: a seeded pre-enqueue sleep that shuffles
@@ -126,22 +124,39 @@ std::future<std::string> Service::submit(std::string line) {
     fault::fire_delay(fault::Site::ServeAdmitJitter);
   }
   const std::int64_t id = req.id;
-  Pending p{std::move(req), std::move(promise)};
+  Pending p{std::move(req), done};  // `done` stays copied for the reject path
   if (queue_->try_push(std::move(p), deadline) == AdmitResult::Overloaded) {
-    // try_push consumed p (by-value argument) even on rejection, taking the
-    // original promise with it; answer on a fresh one.
+    // try_push consumed p (by-value argument) even on rejection, taking
+    // its callback copy with it; answer through the one we kept.
     em.overloaded.add();
-    std::promise<std::string> reject;
-    fut = reject.get_future();
-    reject.set_value(make_error_response(id, "overloaded"));
-    return fut;
+    done(make_error_response(id, "overloaded"));
+    return;
   }
   em.requests.add();
+}
+
+std::future<std::string> Service::submit(std::string line) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> fut = promise->get_future();
+  submit_cb(std::move(line),
+            [promise](std::string resp) { promise->set_value(std::move(resp)); });
   return fut;
 }
 
 std::string Service::request(const std::string& line) {
   return submit(line).get();
+}
+
+void Service::set_extra_stats(const std::string& key,
+                              std::function<Json()> fn) {
+  std::lock_guard<std::mutex> lock(extra_stats_mu_);
+  for (auto& [k, f] : extra_stats_) {
+    if (k == key) {
+      f = std::move(fn);
+      return;
+    }
+  }
+  extra_stats_.emplace_back(key, std::move(fn));
 }
 
 std::vector<std::string> Service::request_batch(
@@ -205,8 +220,7 @@ void Service::worker_loop() {
         const auto done = ServeClock::now();
         em.latency_us.record(us_between(batch[i].enqueued, done));
         if (traced) obs::emit(request_span(r, batch[i].enqueued, done));
-        batch[i].item.promise.set_value(
-            make_error_response(r.id, "deadline_expired"));
+        batch[i].item.done(make_error_response(r.id, "deadline_expired"));
       } else {
         live.push_back(&batch[i].item.req);
         live_idx.push_back(i);
@@ -248,17 +262,17 @@ void Service::worker_loop() {
       em.latency_us.record(us_between(slot.enqueued, done));
       if (traced) req_spans.push_back(request_span(r, slot.enqueued, done));
     }
-    // Spans land before promises resolve: a client that saw its answer
+    // Spans land before callbacks resolve: a client that saw its answer
     // can immediately `trace` and find its serve.request span.
     obs::emit_all(req_spans);
     // Slow-client site: one seeded stall between computing a batch's
-    // answers and resolving its promises -- the response-writing leg.
+    // answers and resolving its callbacks -- the response-writing leg.
     if (fault::armed() &&
         fault::should_fire(fault::Site::ServeSlowResponse)) {
       fault::fire_delay(fault::Site::ServeSlowResponse);
     }
     for (std::size_t t = 0; t < outcomes.size(); ++t) {
-      batch[live_idx[t]].item.promise.set_value(std::move(responses[t]));
+      batch[live_idx[t]].item.done(std::move(responses[t]));
     }
   }
 }
@@ -525,6 +539,12 @@ Json Service::stats_json() const {
   trace["enabled"] = obs::enabled();
   trace["dropped"] = obs::dropped_total();
   out["trace"] = Json(std::move(trace));
+  {
+    // Front-end hooks (set_extra_stats): the TCP server contributes its
+    // transport counters here so `stats` tells one story per process.
+    std::lock_guard<std::mutex> lock(extra_stats_mu_);
+    for (const auto& [key, fn] : extra_stats_) out[key] = fn();
+  }
   return Json(std::move(out));
 }
 

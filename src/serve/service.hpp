@@ -27,10 +27,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "plan/cost_model.hpp"
@@ -66,6 +69,17 @@ class Service {
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
+  /// A response consumer.  Invoked exactly once per submitted line --
+  /// on the submitting thread for control ops and rejections, on the
+  /// worker thread for query ops.  Must be copyable (the service keeps
+  /// a copy across the admission hand-off) and must not throw.
+  using ResponseCallback = std::function<void(std::string)>;
+
+  /// Submit one request line, callback form: the transport front-ends'
+  /// entry point (the TCP server enqueues the response into the owning
+  /// connection from here).  Thread-safe.
+  void submit_cb(std::string line, ResponseCallback done);
+
   /// Submit one request line.  Control ops resolve before returning;
   /// query ops resolve when the worker answers (immediately with
   /// `overloaded` if the admission queue is full).  Thread-safe.
@@ -86,10 +100,16 @@ class Service {
   CacheStats cache_stats() const { return cache_.stats(); }
   std::size_t queue_depth() const { return queue_->size(); }
 
+  /// Register an extra top-level section for the `stats` op (and the
+  /// Prometheus exposition derived from it).  The TCP front-end hooks
+  /// its transport counters in as "rpc".  Re-registering a key replaces
+  /// it.  Thread-safe; `fn` is called on the stats-reading thread.
+  void set_extra_stats(const std::string& key, std::function<Json()> fn);
+
  private:
   struct Pending {
     Request req;
-    std::promise<std::string> promise;
+    ResponseCallback done;
   };
 
   std::string handle_control(const Request& req);
@@ -103,6 +123,8 @@ class Service {
   plan::Planner planner_;
   Batcher batcher_;
   std::unique_ptr<AdmissionQueue<Pending>> queue_;
+  mutable std::mutex extra_stats_mu_;
+  std::vector<std::pair<std::string, std::function<Json()>>> extra_stats_;
   std::thread worker_;
 };
 
