@@ -36,7 +36,11 @@ int main() {
 
   // The client half: a blocking socket client speaking one JSON object
   // per line.  Against a remote server this is the only half you need.
-  pmonge::rpc::Client client("127.0.0.1", server.port());
+  // A connect timeout turns an unreachable server into a prompt
+  // RpcError instead of an indefinite hang (the default is unlimited).
+  pmonge::rpc::Client client;
+  client.set_connect_timeout_ms(2000);
+  client.connect("127.0.0.1", server.port());
 
   const std::vector<std::string> requests = {
       // Control plane: register operands.  Responses carry the array id.

@@ -15,6 +15,7 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "exec.chunk_delay",  "exec.chunk_fault",   "serve.admit_jitter",
     "serve.group_fault", "serve.cache_poison", "serve.slow_response",
     "plan.corrupt_plan", "rpc.conn_drop",      "rpc.read_stall",
+    "index.node_corrupt",
 };
 
 struct SiteState {

@@ -51,9 +51,12 @@ enum class Site : std::uint32_t {
                        // response-write time (client sees EOF, answers lost)
   RpcReadStall,        // rpc.read_stall: seeded delay before draining a
                        // readable socket (latency only, never bytes)
+  IndexNodeCorrupt,    // index.node_corrupt: flip a byte in a query-index
+                       // node's payload at lookup; the per-node checksum
+                       // detects it and the node rebuilds from the array
 };
 
-inline constexpr std::size_t kSiteCount = 9;
+inline constexpr std::size_t kSiteCount = 10;
 inline constexpr std::uint32_t kAllSites = (1u << kSiteCount) - 1;
 
 const char* site_name(Site s);

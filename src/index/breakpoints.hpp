@@ -1,0 +1,162 @@
+// Per-node column-optimum structures for the Monge query index.
+//
+// A query-index node covers a contiguous row range [row_lo, row_hi) of a
+// registered array and must answer, for an arbitrary column interval
+// [c0, c1], "which (value, row, col) is optimal over my rows?" in
+// O(lg n).  Two small structures per node and direction provide that:
+//
+//   * ColOptTree -- an iterative segment tree over the node's per-column
+//     optima.  Leaf j holds (value over the node's rows in column j,
+//     column j); an internal node holds the lexicographic best of its
+//     children.  Empty columns (a staircase column with no finite entry
+//     in the node's rows) are marked with col = kEmptyCol and skipped by
+//     the combiner -- values are NEVER used as sentinels, because
+//     registered dense data may hold arbitrary int64 entries.
+//
+//   * Breakpoints -- the run-compressed "owner" list mapping each column
+//     to the topmost row achieving that column's optimum.  For Monge
+//     arrays the owner sequence is monotone and compresses to O(rows)
+//     runs (the classic breakpoint list); run compression is correct
+//     regardless, so staircase nodes use the same structure.
+//
+// The combiner's order is the library-wide tie convention: smaller value
+// wins (greater for maxima), equal values break toward the smaller
+// column, and the owner row is the topmost.  It is commutative and
+// associative, so the bottom-up iterative tree is order-independent and
+// a range query returns exactly the optimum a direct scan would.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pmonge::index {
+
+/// Sentinel column for "no finite entry" (empty staircase column).
+inline constexpr std::int32_t kEmptyCol = -1;
+
+/// Owner row for an empty column.
+inline constexpr std::uint32_t kNoOwner = 0xffffffffu;
+
+/// Fold `(v, c)` into the running best `(bv, bc)` under the tie
+/// convention (strictly better value, or equal value and smaller
+/// column).  Empty candidates never win; anything beats an empty best.
+inline void combine_opt(bool maxima, std::int64_t v, std::int32_t c,
+                        std::int64_t& bv, std::int32_t& bc) {
+  if (c == kEmptyCol) return;
+  if (bc == kEmptyCol) {
+    bv = v;
+    bc = c;
+    return;
+  }
+  const bool better = maxima ? (v > bv || (v == bv && c < bc))
+                             : (v < bv || (v == bv && c < bc));
+  if (better) {
+    bv = v;
+    bc = c;
+  }
+}
+
+/// Iterative segment tree over one node's per-column optima; leaves at
+/// [n, 2n).  Works for any n (not just powers of two) because the
+/// combiner is commutative.
+class ColOptTree {
+ public:
+  /// Build from per-column values and owners; owner kNoOwner marks an
+  /// empty column.
+  void build(bool maxima, const std::vector<std::int64_t>& val,
+             const std::vector<std::uint32_t>& owner) {
+    const std::size_t n = val.size();
+    n_ = n;
+    vals_.assign(2 * n, 0);
+    cols_.assign(2 * n, kEmptyCol);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (owner[j] != kNoOwner) {
+        vals_[n + j] = val[j];
+        cols_[n + j] = static_cast<std::int32_t>(j);
+      }
+    }
+    for (std::size_t i = n; i-- > 1;) {
+      std::int64_t bv = vals_[2 * i];
+      std::int32_t bc = cols_[2 * i];
+      combine_opt(maxima, vals_[2 * i + 1], cols_[2 * i + 1], bv, bc);
+      vals_[i] = bv;
+      cols_[i] = bc;
+    }
+  }
+
+  /// Best (value, col) over columns [c0, c1] inclusive; col kEmptyCol if
+  /// every column in the interval is empty.
+  std::pair<std::int64_t, std::int32_t> query(bool maxima, std::size_t c0,
+                                              std::size_t c1) const {
+    std::int64_t bv = 0;
+    std::int32_t bc = kEmptyCol;
+    for (std::size_t l = c0 + n_, r = c1 + 1 + n_; l < r; l >>= 1, r >>= 1) {
+      if (l & 1) {
+        combine_opt(maxima, vals_[l], cols_[l], bv, bc);
+        ++l;
+      }
+      if (r & 1) {
+        --r;
+        combine_opt(maxima, vals_[r], cols_[r], bv, bc);
+      }
+    }
+    return {bv, bc};
+  }
+
+  std::size_t cols() const { return n_; }
+  std::size_t memory_bytes() const {
+    // size(), not capacity(): the index_build response reports this
+    // number and must be a pure function of the array contents.
+    return vals_.size() * sizeof(std::int64_t) +
+           cols_.size() * sizeof(std::int32_t);
+  }
+
+  const std::vector<std::int64_t>& raw_vals() const { return vals_; }
+  const std::vector<std::int32_t>& raw_cols() const { return cols_; }
+  /// Mutable payload access for the fault layer's node-corruption site.
+  std::vector<std::int64_t>& mutable_vals() { return vals_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::int64_t> vals_;  // [1, 2n): tree; [n, 2n): leaves
+  std::vector<std::int32_t> cols_;  // kEmptyCol marks an empty slot
+};
+
+/// Run-compressed column -> topmost-owner-row map.
+class Breakpoints {
+ public:
+  void build(const std::vector<std::uint32_t>& owner) {
+    start_.clear();
+    row_.clear();
+    for (std::size_t j = 0; j < owner.size(); ++j) {
+      if (row_.empty() || owner[j] != row_.back()) {
+        start_.push_back(static_cast<std::uint32_t>(j));
+        row_.push_back(owner[j]);
+      }
+    }
+  }
+
+  /// Topmost row achieving column `col`'s optimum (kNoOwner if empty).
+  std::uint32_t owner(std::size_t col) const {
+    const auto it = std::upper_bound(start_.begin(), start_.end(),
+                                     static_cast<std::uint32_t>(col));
+    return row_[static_cast<std::size_t>(it - start_.begin()) - 1];
+  }
+
+  std::size_t runs() const { return row_.size(); }
+  std::size_t memory_bytes() const {
+    return (start_.size() + row_.size()) * sizeof(std::uint32_t);
+  }
+
+  const std::vector<std::uint32_t>& raw_starts() const { return start_; }
+  const std::vector<std::uint32_t>& raw_rows() const { return row_; }
+
+ private:
+  std::vector<std::uint32_t> start_;  // run start columns; start_[0] == 0
+  std::vector<std::uint32_t> row_;    // owner row per run
+};
+
+}  // namespace pmonge::index

@@ -351,11 +351,44 @@ std::string prometheus_text(const Json& stats) {
     }
   }
 
+  section(w, stats.find("index"),
+          {{"arrays", "pmonge_index_arrays", "Arrays with a live query index",
+            "gauge"},
+           {"builds", "pmonge_index_builds_total", "Index builds completed",
+            "counter"},
+           {"drops", "pmonge_index_drops_total",
+            "Indexes dropped (explicitly or via unregister)", "counter"},
+           {"lookups", "pmonge_index_lookups_total",
+            "Submatrix queries answered through an index", "counter"},
+           {"corrupt_detected", "pmonge_index_corrupt_detected_total",
+            "Index nodes failing checksum verification", "counter"},
+           {"node_rebuilds", "pmonge_index_node_rebuilds_total",
+            "Index nodes rebuilt from the source array", "counter"},
+           {"nodes", "pmonge_index_nodes", "Live index tree nodes", "gauge"},
+           {"memory_bytes", "pmonge_index_memory_bytes",
+            "Bytes held by live index structures", "gauge"}});
+
   section(w, stats.find("trace"),
           {{"enabled", "pmonge_trace_enabled", "Span tracing enabled",
             "gauge"},
            {"dropped", "pmonge_trace_dropped_spans_total",
             "Spans dropped by full or contended rings", "counter"}});
+
+  if (const Json* uptime = stats.find("uptime_ms")) {
+    w.family("pmonge_uptime_ms", "Milliseconds since service start", "gauge");
+    w.sample({}, *uptime);
+  }
+
+  if (const Json* build = stats.find("build")) {
+    const Json* git = build->find("git");
+    const Json* compiler = build->find("compiler");
+    w.family("pmonge_build_info", "Build provenance of the running binary",
+             "gauge");
+    w.sample({{"git", git != nullptr ? git->as_string() : "unknown"},
+              {"compiler",
+               compiler != nullptr ? compiler->as_string() : "unknown"}},
+             std::string("1"));
+  }
 
   // Present only when the TCP front-end is live (Service::set_extra_stats).
   section(w, stats.find("rpc"),

@@ -10,6 +10,7 @@
 
 #include "apps/string_edit.hpp"
 #include "exec/thread_pool.hpp"
+#include "index/index.hpp"
 #include "monge/generators.hpp"
 #include "monge/smawk.hpp"
 #include "par/monge_rowminima.hpp"
@@ -116,6 +117,35 @@ CostProfile calibrate() {
     prof.par_depth_ns = 0;
   }
 
+  // Index node visit: build a submatrix query index over 512x512 and
+  // time a fixed batch of lookups; each costs ~(lg m + lg n) node
+  // visits (canonical nodes + partial-piece solves folded in).
+  {
+    const std::size_t n = 512;
+    serve::ArrayEntry entry;
+    entry.kind = serve::ArrayEntry::Kind::Monge;
+    entry.data = monge::random_monge(n, n, rng);
+    index::Index idx(std::make_shared<const serve::ArrayEntry>(
+        std::move(entry)));
+    idx.build();
+    volatile std::int64_t sink = 0;
+    const std::size_t queries = 64;
+    const double ns = best_ns(5, [&] {
+      std::int64_t acc = 0;
+      for (std::size_t k = 0; k < queries; ++k) {
+        const std::size_t r0 = (k * 7) % (n / 2);
+        const std::size_t c0 = (k * 13) % (n / 2);
+        const auto r = idx.submatrix_opt(false, r0, r0 + n / 2, c0,
+                                         c0 + n / 2);
+        acc += r.value;
+      }
+      sink = acc;
+    });
+    const double lgn = detail::lg2(static_cast<double>(n) + 2);
+    prof.index_node_ns =
+        std::max(5.0, ns / (static_cast<double>(queries) * 2 * lgn));
+  }
+
   prof.id = "calibrated-v1-" + std::to_string(threads) + "t";
   return prof;
 }
@@ -130,6 +160,7 @@ std::string profile_to_json(const CostProfile& prof) {
   o["par_ns_per_work"] = serve::Json(prof.par_ns_per_work);
   o["par_dispatch_ns"] = serve::Json(prof.par_dispatch_ns);
   o["par_depth_ns"] = serve::Json(prof.par_depth_ns);
+  o["index_node_ns"] = serve::Json(prof.index_node_ns);
   return serve::Json(std::move(o)).dump();
 }
 
@@ -179,6 +210,11 @@ CostProfile profile_from_json(const std::string& text,
   prof.par_ns_per_work = num("par_ns_per_work", false);
   prof.par_dispatch_ns = num("par_dispatch_ns", true);
   prof.par_depth_ns = num("par_depth_ns", true);
+  // Added after pmonge-profile-v1 shipped: older profiles omit it and
+  // keep the built-in default.
+  if (j.find("index_node_ns") != nullptr) {
+    prof.index_node_ns = num("index_node_ns", false);
+  }
   return prof;
 }
 

@@ -38,6 +38,7 @@ enum class OpClass : std::uint8_t {
   EditDistance,  // string_edit: rows = |x|, cols = |y|, b jobs
   GeometricApp,  // largest_rect / empty_rect / polygon_neighbors: rows =
                  // points, b instances (no sequential twin: always parallel)
+  SubmatrixSearch,  // submatrix_min/submatrix_max: operand m x n, b regions
 };
 
 inline const char* op_class_name(OpClass c) {
@@ -46,6 +47,7 @@ inline const char* op_class_name(OpClass c) {
     case OpClass::TubeSearch: return "tube_search";
     case OpClass::EditDistance: return "edit_distance";
     case OpClass::GeometricApp: return "geometric_app";
+    case OpClass::SubmatrixSearch: return "submatrix_search";
   }
   return "?";
 }
@@ -86,6 +88,8 @@ struct CostProfile {
   double par_ns_per_work = 4.0;     // one unit of charged PRAM work
   double par_dispatch_ns = 20000;   // entering the pool (submission+sync)
   double par_depth_ns = 250;        // one charged parallel step (barrier)
+  double index_node_ns = 120;       // one query-index node visit (segment-
+                                    // tree range query + breakpoint search)
 };
 
 /// The deterministic built-in profile (the CostProfile defaults).
@@ -162,8 +166,33 @@ inline double predicted_ns(const CostProfile& prof, Algo algo,
         const double work = b * (m + 2) * detail::lg2(m + 2);
         return prof.par_dispatch_ns + prof.par_ns_per_work * work / t;
       }
+    case OpClass::SubmatrixSearch:
+      switch (algo) {
+        case Algo::Brute:  // scan every cell of each queried region
+          return prof.brute_ns_per_cell * b * m * n;
+        case Algo::Sequential:  // one SMAWK pass per region
+          return prof.seq_ns_per_probe * b * (m + n);
+        case Algo::Parallel: {  // chunked SMAWK: O(m + T n) work, Brent
+          const double work = (m + n) * lgn;
+          return prof.par_dispatch_ns + prof.par_depth_ns * lgn * lglgn +
+                 prof.par_ns_per_work * b * work / t;
+        }
+      }
+      break;
   }
   return 0;
+}
+
+/// Predicted wall nanoseconds for answering `shape` through a built
+/// query index (src/index): O(lg m) node visits plus the partial-piece
+/// solves, each visit one segment-tree range query over n columns.
+inline double index_lookup_ns(const CostProfile& prof,
+                              const QueryShape& shape) {
+  const double m = static_cast<double>(shape.rows);
+  const double n = static_cast<double>(shape.cols);
+  const double b = static_cast<double>(shape.batch == 0 ? 1 : shape.batch);
+  return prof.index_node_ns * b *
+         (detail::lg2(m + 2) + detail::lg2(n + 2));
 }
 
 }  // namespace pmonge::plan

@@ -38,6 +38,11 @@ Plan Planner::plan(const QueryShape& shape) const {
   return p;
 }
 
+bool Planner::prefer_index(const QueryShape& shape) const {
+  if (!enabled_) return true;
+  return index_lookup_ns(profile_, shape) < plan(shape).predicted_us * 1000.0;
+}
+
 Plan Planner::plan_at(const QueryShape& rep) const {
   Plan p;
   p.rep = rep;

@@ -35,6 +35,14 @@ class Planner {
     return plan(shape).predicted_us;
   }
 
+  /// For a SubmatrixSearch shape with a built index available: should
+  /// the lookup go through the index rather than a direct recompute?
+  /// Disabled planner -> always true (fixed dispatch uses an index
+  /// whenever one exists).  Enabled -> compare index_lookup_ns against
+  /// the best direct plan.  Either way the answer never changes the
+  /// response bytes, only the route.
+  bool prefer_index(const QueryShape& shape) const;
+
   bool enabled() const { return enabled_; }
   const CostProfile& profile() const { return profile_; }
   std::size_t threads() const { return threads_; }

@@ -1,8 +1,10 @@
 #include "rpc/client.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,15 +14,62 @@
 
 namespace pmonge::rpc {
 
+namespace {
+
+/// Connect with an optional deadline.  timeout_ms < 0 is a plain
+/// blocking ::connect.  Otherwise: flip the socket non-blocking, start
+/// the connect, poll for writability up to the deadline, read the
+/// outcome from SO_ERROR, and restore blocking mode on success.
+/// Returns 0 on success, an errno value (ETIMEDOUT on expiry) otherwise.
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t len,
+                         int timeout_ms) {
+  if (timeout_ms < 0) {
+    return ::connect(fd, addr, len) == 0 ? 0 : errno;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return errno;
+  int err = 0;
+  if (::connect(fd, addr, len) != 0) {
+    if (errno != EINPROGRESS) {
+      err = errno;
+    } else {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        err = ETIMEDOUT;
+      } else if (rc < 0) {
+        err = errno;
+      } else {
+        socklen_t elen = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen) < 0) {
+          err = errno;
+        }
+      }
+    }
+  }
+  if (err == 0 && ::fcntl(fd, F_SETFL, flags) < 0) err = errno;
+  return err;
+}
+
+}  // namespace
+
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), framer_(std::move(other.framer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      connect_timeout_ms_(other.connect_timeout_ms_),
+      framer_(std::move(other.framer_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    connect_timeout_ms_ = other.connect_timeout_ms_;
     framer_ = std::move(other.framer_);
   }
   return *this;
@@ -47,8 +96,10 @@ void Client::connect(const std::string& host, std::uint16_t port) {
       err = errno;
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    err = errno;
+    const int cerr = connect_with_timeout(fd, ai->ai_addr, ai->ai_addrlen,
+                                          connect_timeout_ms_);
+    if (cerr == 0) break;
+    err = cerr;
     ::close(fd);
     fd = -1;
   }

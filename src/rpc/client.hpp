@@ -38,7 +38,15 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Connect (blocking); throws RpcError naming host:port on failure.
+  /// Honors the connect timeout set below, per address attempted.
   void connect(const std::string& host, std::uint16_t port);
+
+  /// Cap each connect() attempt at `ms` milliseconds (non-blocking
+  /// connect + poll; the socket is restored to blocking mode once the
+  /// handshake completes).  -1, the default, blocks without limit.
+  /// Must be set before connect() to take effect.
+  void set_connect_timeout_ms(int ms) { connect_timeout_ms_ = ms; }
+  int connect_timeout_ms() const { return connect_timeout_ms_; }
 
   bool connected() const { return fd_ >= 0; }
   void close();
@@ -68,6 +76,7 @@ class Client {
 
  private:
   int fd_ = -1;
+  int connect_timeout_ms_ = -1;
   LineFramer framer_{std::size_t{64} << 20};  // responses can be large (trace)
 };
 

@@ -16,9 +16,13 @@
 // The workload is a seeded deterministic mix over registered arrays:
 // each connection registers its own Monge and staircase operands during
 // an untimed setup phase, then draws rowmin / rowmax / staircase_rowmin
-// / string_edit queries from an Rng derived from --seed and the
+// / string_edit (and, when --mix weights them, submatrix_min /
+// submatrix_max) queries from an Rng derived from --seed and the
 // connection index.  Same seed, same flags => byte-identical request
-// streams.
+// streams; in particular the default mix reproduces the historical
+// 55/20/15/10 stream byte-for-byte.  --index builds the submatrix query
+// index on every registered operand during setup (docs/indexing.md), so
+// a submatrix-heavy mix measures the indexed serving path.
 //
 // Reported: achieved throughput and exact (sorted-sample) p50 / p95 /
 // p99 / p99.9 latency, per the usual bench conventions:
@@ -62,13 +66,87 @@ struct ConnResult {
   std::string first_error;
 };
 
+// Cumulative thresholds over [0,1) in a fixed op order; one uniform01
+// draw selects the op.  The defaults reproduce the historical
+// 55/20/15/10 rowmin/rowmax/staircase_rowmin/string_edit stream
+// byte-for-byte (the submatrix bands are zero-width, so their extra
+// coordinate draws never happen).
+struct Mix {
+  double rowmin = 0.55;
+  double rowmax = 0.75;
+  double staircase = 0.9;
+  double submatrix_min = 0.9;
+  double submatrix_max = 0.9;
+  // string_edit takes the remainder up to 1.
+
+  /// Parse "name=weight,..." (e.g. "rowmin=40,submatrix_min=30,
+  /// submatrix_max=30"); weights are non-negative and normalized, ops
+  /// not named get weight 0.  Returns false with `err` set on a bad
+  /// spec.
+  static bool parse(const std::string& spec, Mix& out, std::string& err) {
+    static const char* kOps[] = {"rowmin",        "rowmax",
+                                 "staircase_rowmin", "submatrix_min",
+                                 "submatrix_max", "string_edit"};
+    double w[6] = {0, 0, 0, 0, 0, 0};
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string item = spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        err = "bad --mix item \"" + item + "\" (want name=weight)";
+        return false;
+      }
+      const std::string name = item.substr(0, eq);
+      double weight = 0;
+      try {
+        weight = std::stod(item.substr(eq + 1));
+      } catch (const std::exception&) {
+        err = "bad --mix weight in \"" + item + "\"";
+        return false;
+      }
+      if (weight < 0) {
+        err = "negative --mix weight in \"" + item + "\"";
+        return false;
+      }
+      bool known = false;
+      for (std::size_t i = 0; i < 6; ++i) {
+        if (name == kOps[i]) {
+          w[i] = weight;
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        err = "unknown --mix op \"" + name + "\"";
+        return false;
+      }
+    }
+    const double total = w[0] + w[1] + w[2] + w[3] + w[4] + w[5];
+    if (total <= 0) {
+      err = "--mix weights sum to zero";
+      return false;
+    }
+    out.rowmin = w[0] / total;
+    out.rowmax = out.rowmin + w[1] / total;
+    out.staircase = out.rowmax + w[2] / total;
+    out.submatrix_min = out.staircase + w[3] / total;
+    out.submatrix_max = out.submatrix_min + w[4] / total;
+    return true;
+  }
+};
+
 struct Workload {
   // Per-connection deterministic request stream over the arrays the
   // connection registered in setup.
   pmonge::Rng rng;
+  Mix mix;
   std::int64_t monge_array = -1;
   std::int64_t staircase_array = -1;
   std::int64_t rows = 0;
+  std::int64_t cols = 0;
   std::int64_t next_id = 1;
 
   explicit Workload(std::uint64_t seed) : rng(seed) {}
@@ -77,20 +155,36 @@ struct Workload {
     const std::int64_t id = next_id++;
     const double dice = rng.uniform01();
     const std::int64_t row = rng.uniform_int(0, rows - 1);
-    if (dice < 0.55) {
+    if (dice < mix.rowmin) {
       return R"({"op":"rowmin","id":)" + std::to_string(id) +
              R"(,"array":)" + std::to_string(monge_array) + R"(,"row":)" +
              std::to_string(row) + "}";
     }
-    if (dice < 0.75) {
+    if (dice < mix.rowmax) {
       return R"({"op":"rowmax","id":)" + std::to_string(id) +
              R"(,"array":)" + std::to_string(monge_array) + R"(,"row":)" +
              std::to_string(row) + "}";
     }
-    if (dice < 0.9) {
+    if (dice < mix.staircase) {
       return R"({"op":"staircase_rowmin","id":)" + std::to_string(id) +
              R"(,"array":)" + std::to_string(staircase_array) + R"(,"row":)" +
              std::to_string(row) + "}";
+    }
+    if (dice < mix.submatrix_max) {
+      // Submatrix search on the Monge operand; `row` is one row bound,
+      // a second row and two column draws complete the region.
+      const std::int64_t row2 = rng.uniform_int(0, rows - 1);
+      const std::int64_t ca = rng.uniform_int(0, cols - 1);
+      const std::int64_t cb = rng.uniform_int(0, cols - 1);
+      const char* op =
+          dice < mix.submatrix_min ? "submatrix_min" : "submatrix_max";
+      return std::string(R"({"op":")") + op + R"(","id":)" +
+             std::to_string(id) + R"(,"array":)" +
+             std::to_string(monge_array) + R"(,"r0":)" +
+             std::to_string(std::min(row, row2)) + R"(,"r1":)" +
+             std::to_string(std::max(row, row2)) + R"(,"c0":)" +
+             std::to_string(std::min(ca, cb)) + R"(,"c1":)" +
+             std::to_string(std::max(ca, cb)) + "}";
     }
     static const char* kWords[] = {"kitten",  "sitting", "monge",
                                    "montage", "parallel", "partial"};
@@ -125,20 +219,29 @@ void tally(const std::string& resp, ConnResult& r) {
   }
 }
 
-/// Untimed setup: register this connection's operands and learn their ids.
+/// Untimed setup: register this connection's operands and learn their
+/// ids; with `build_index`, also build the submatrix query index on each
+/// operand so the timed phase measures indexed serving.
 bool setup(pmonge::rpc::Client& c, Workload& w, std::uint64_t seed,
-           std::int64_t rows, std::int64_t cols, std::string& err) {
-  const auto reg = [&](const std::string& req) -> std::int64_t {
-    const Json j = Json::parse(c.request(req));
-    const Json* ok = j.find("ok");
+           std::int64_t rows, std::int64_t cols, bool build_index,
+           std::string& err) {
+  Json last;
+  const auto check = [&](const std::string& req) -> bool {
+    last = Json::parse(c.request(req));
+    const Json* ok = last.find("ok");
     if (ok == nullptr || !ok->as_bool()) {
-      const Json* e = j.find("error");
-      err = e != nullptr ? e->as_string() : "registration failed";
-      return -1;
+      const Json* e = last.find("error");
+      err = e != nullptr ? e->as_string() : "setup request failed";
+      return false;
     }
-    return j.find("result")->find("array")->as_int();
+    return true;
+  };
+  const auto reg = [&](const std::string& req) -> std::int64_t {
+    if (!check(req)) return -1;
+    return last.find("result")->find("array")->as_int();
   };
   w.rows = rows;
+  w.cols = cols;
   w.monge_array =
       reg(R"({"op":"register_random","id":0,"rows":)" + std::to_string(rows) +
           R"(,"cols":)" + std::to_string(cols) + R"(,"seed":)" +
@@ -148,7 +251,16 @@ bool setup(pmonge::rpc::Client& c, Workload& w, std::uint64_t seed,
       reg(R"({"op":"register_random","id":0,"rows":)" + std::to_string(rows) +
           R"(,"cols":)" + std::to_string(cols) +
           R"(,"kind":"staircase","seed":)" + std::to_string(seed + 1) + "}");
-  return w.staircase_array >= 0;
+  if (w.staircase_array < 0) return false;
+  if (build_index) {
+    for (const std::int64_t id : {w.monge_array, w.staircase_array}) {
+      if (!check(R"({"op":"index_build","id":0,"array":)" +
+                 std::to_string(id) + "}")) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 /// Closed loop: a sliding window of `window` pipelined requests; every
@@ -258,6 +370,14 @@ int main(int argc, char** argv) {
         "                   (default 1)\n"
         "  --seed S         workload seed (default 42)\n"
         "  --rows N --cols N  registered operand shape (default 64x48)\n"
+        "  --mix SPEC       op mix as name=weight pairs over rowmin, rowmax,\n"
+        "                   staircase_rowmin, submatrix_min, submatrix_max,\n"
+        "                   string_edit; weights normalized, unnamed ops get\n"
+        "                   0 (default: the historical 55/20/15/10 mix)\n"
+        "  --index          build the submatrix query index on every operand\n"
+        "                   during untimed setup (docs/indexing.md)\n"
+        "  --connect-timeout-ms N  cap each connect attempt; -1 = unlimited\n"
+        "                   (default -1)\n"
         "  --p99-gate-us N  exit 1 if p99 latency exceeds N microseconds\n"
         "  --json[=PATH]    write the result record (default BENCH_net.json)");
     return 0;
@@ -277,6 +397,18 @@ int main(int argc, char** argv) {
   const std::int64_t rows = cli.get_int("rows", 64);
   const std::int64_t cols = cli.get_int("cols", 48);
   const std::int64_t gate_us = cli.get_int("p99-gate-us", -1);
+  const std::string mix_spec = cli.get("mix", "");
+  const bool build_index = cli.has("index");
+  const int connect_timeout_ms =
+      static_cast<int>(cli.get_int("connect-timeout-ms", -1));
+  Mix mix;
+  if (!mix_spec.empty()) {
+    std::string mix_err;
+    if (!Mix::parse(mix_spec, mix, mix_err)) {
+      std::fprintf(stderr, "pmonge-loadgen: %s\n", mix_err.c_str());
+      return 2;
+    }
+  }
 
   // Connect + untimed setup for every connection before the clock starts.
   std::vector<pmonge::rpc::Client> clients(conns);
@@ -286,10 +418,13 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < conns; ++i) {
     const std::uint64_t conn_seed = seed * 1000003ULL + i;
     work.emplace_back(conn_seed);
+    work[i].mix = mix;
     std::string err;
     try {
+      clients[i].set_connect_timeout_ms(connect_timeout_ms);
       clients[i].connect(host, port);
-      if (!setup(clients[i], work[i], conn_seed, rows, cols, err)) {
+      if (!setup(clients[i], work[i], conn_seed, rows, cols, build_index,
+                 err)) {
         std::fprintf(stderr, "pmonge-loadgen: conn %zu setup: %s\n", i,
                      err.c_str());
         return 1;
@@ -370,6 +505,8 @@ int main(int argc, char** argv) {
   rec["seed"] = static_cast<std::int64_t>(seed);
   rec["rows"] = rows;
   rec["cols"] = cols;
+  rec["mix"] = mix_spec.empty() ? std::string("default") : mix_spec;
+  rec["index"] = build_index;
   rec["duration_s"] = elapsed_s;
   rec["sent"] = static_cast<std::int64_t>(sent);
   rec["received"] = static_cast<std::int64_t>(received);

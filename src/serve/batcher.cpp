@@ -16,6 +16,7 @@
 #include "exec/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "geom/geometry.hpp"
+#include "index/index.hpp"
 #include "monge/staircase_seq.hpp"
 #include "obs/trace.hpp"
 #include "par/monge_rowminima.hpp"
@@ -261,6 +262,56 @@ void run_staircase_group(std::vector<Member>& members,
     const auto it = std::lower_bound(rows.begin(), rows.end(), row);
     set_ok(*m->out, rowopt_result(res[static_cast<std::size_t>(
                         it - rows.begin())]));
+  }
+}
+
+Json region_result(const index::RegionOpt& r) {
+  Json::Obj o;
+  if (!r.has) {
+    o["value"] = nullptr;
+    o["row"] = -1;
+    o["col"] = -1;
+  } else {
+    o["value"] = r.value;
+    o["row"] = static_cast<std::int64_t>(r.row);
+    o["col"] = static_cast<std::int64_t>(r.col);
+  }
+  return Json(std::move(o));
+}
+
+/// Submatrix min/max over a registered array.  With `idx` set, every
+/// member is answered through the query index; otherwise each runs the
+/// direct sub-block solver under the planned algorithm.  Both paths
+/// reduce candidates under the same total order (value, leftmost col,
+/// topmost row), so the route never shows in the response bytes.
+void run_submatrix_group(std::vector<Member>& members,
+                         const std::shared_ptr<const ArrayEntry>& entry,
+                         const std::shared_ptr<index::Index>& idx,
+                         bool maxima, const plan::Plan& pl) {
+  obs::Span kspan("serve.kernel");
+  kspan.set_detail(idx != nullptr ? "index" : plan::algo_name(pl.algo));
+  for (Member& m : members) {
+    try {
+      const Json& b = m.req->body;
+      const std::size_t r0 =
+          index_field(b, "r0", entry->data.rows(), "r0");
+      const std::size_t r1 =
+          index_field(b, "r1", entry->data.rows(), "r1");
+      const std::size_t c0 =
+          index_field(b, "c0", entry->data.cols(), "c0");
+      const std::size_t c1 =
+          index_field(b, "c1", entry->data.cols(), "c1");
+      if (r1 < r0) throw JsonError("bad_request: r1 < r0");
+      if (c1 < c0) throw JsonError("bad_request: c1 < c0");
+      const index::RegionOpt r =
+          idx != nullptr
+              ? idx->submatrix_opt(maxima, r0, r1, c0, c1)
+              : index::submatrix_direct(*entry, maxima, pl.algo, r0, r1,
+                                        c0, c1);
+      set_ok(*m.out, region_result(r));
+    } catch (const JsonError& e) {
+      set_error(*m.out, e.what());
+    }
   }
 }
 
@@ -538,6 +589,12 @@ plan::QueryShape query_shape(const Request& req, Registry& reg) {
       s.rows = e->data.rows();
       s.cols = e->data.cols();
     }
+  } else if (req.op == "submatrix_min" || req.op == "submatrix_max") {
+    s.op = plan::OpClass::SubmatrixSearch;
+    if (const auto e = entry_of("array")) {
+      s.rows = e->data.rows();
+      s.cols = e->data.cols();
+    }
   } else if (req.op == "tubemax" || req.op == "tubemin") {
     s.op = plan::OpClass::TubeSearch;
     if (const auto d = entry_of("d")) {
@@ -722,6 +779,30 @@ void Batcher::dispatch_group_once(std::vector<Member>& ms, bool degraded) {
       count_plan(metrics_, pl.algo);
       run_staircase_group(ms, entry, op == "staircase_rowmax", model_,
                           metrics_, pl);
+    } else if (op == "submatrix_min" || op == "submatrix_max") {
+      auto entry = resolve(registry_, ms.front().req->body, "array",
+                           *ms.front().out);
+      if (entry == nullptr) {
+        fail_unanswered(ms, ms.front().out->error);
+        return;
+      }
+      const plan::QueryShape shape{plan::OpClass::SubmatrixSearch,
+                                   entry->data.rows(), entry->data.cols(),
+                                   ms.size()};
+      const plan::Plan pl = plan_for(shape, degraded);
+      count_plan(metrics_, pl.algo);
+      // Route through the index only when one exists and the planner
+      // predicts the O(lg m) lookups beat the best direct plan.  The
+      // degraded path (breaker open) stays on the direct sequential
+      // solver -- same bytes either way, so the route is free to vary.
+      std::shared_ptr<index::Index> idx;
+      if (!degraded) {
+        idx = indexes_.get(
+            static_cast<std::uint64_t>(group_int(ms.front().req->body,
+                                                 "array")));
+        if (idx != nullptr && !planner_.prefer_index(shape)) idx = nullptr;
+      }
+      run_submatrix_group(ms, entry, idx, op == "submatrix_max", pl);
     } else if (op == "tubemax" || op == "tubemin") {
       auto d = resolve(registry_, ms.front().req->body, "d",
                        *ms.front().out);
@@ -827,6 +908,16 @@ void Batcher::run_explain(const Request& req, BatchOutcome& out) {
   plan_o["predicted_us"] = pl.predicted_us;
   plan_o["profile"] = planner_.profile().id;
   plan_o["planner_enabled"] = planner_.enabled();
+  if (inner.op == "submatrix_min" || inner.op == "submatrix_max") {
+    // Whether the non-degraded dispatch would route through the query
+    // index: one must exist for the operand AND the planner must predict
+    // the lookup beats the best direct plan (docs/indexing.md).
+    const std::int64_t id = group_int(inner.body, "array");
+    const bool have_index =
+        id >= 0 &&
+        indexes_.get(static_cast<std::uint64_t>(id)) != nullptr;
+    plan_o["use_index"] = have_index && planner_.prefer_index(shape);
+  }
   plan_o["shape"] = Json(std::move(shape_o));
   Json::Obj outcome_o;
   outcome_o["ok"] = sub.ok;
@@ -887,7 +978,8 @@ std::vector<BatchOutcome> Batcher::run(
     const Request& r = reqs[i];
     std::string key = r.op;
     if (r.op == "rowmin" || r.op == "rowmax" || r.op == "staircase_rowmin" ||
-        r.op == "staircase_rowmax") {
+        r.op == "staircase_rowmax" || r.op == "submatrix_min" ||
+        r.op == "submatrix_max") {
       key += ":" + std::to_string(group_int(r.body, "array"));
     } else if (r.op == "tubemax" || r.op == "tubemin") {
       key += ":" + std::to_string(group_int(r.body, "d")) + ":" +

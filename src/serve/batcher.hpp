@@ -56,6 +56,10 @@
 
 #include "plan/planner.hpp"
 #include "pram/machine.hpp"
+
+namespace pmonge::index {
+class IndexManager;
+}
 #include "serve/admission.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
@@ -108,12 +112,13 @@ plan::QueryShape query_shape(const Request& req, Registry& reg);
 class Batcher {
  public:
   Batcher(Registry& registry, ShardedLruCache& cache, ServiceMetrics& metrics,
-          const plan::Planner& planner, pram::Model model, bool coalesce,
-          ResilienceOptions resilience = {})
+          const plan::Planner& planner, index::IndexManager& indexes,
+          pram::Model model, bool coalesce, ResilienceOptions resilience = {})
       : registry_(registry),
         cache_(cache),
         metrics_(metrics),
         planner_(planner),
+        indexes_(indexes),
         model_(model),
         coalesce_(coalesce),
         res_(resilience) {}
@@ -142,6 +147,7 @@ class Batcher {
   ShardedLruCache& cache_;
   ServiceMetrics& metrics_;
   const plan::Planner& planner_;
+  index::IndexManager& indexes_;
   pram::Model model_;
   bool coalesce_;
   ResilienceOptions res_;

@@ -8,7 +8,8 @@ const std::vector<std::string>& query_ops() {
   static const std::vector<std::string> ops = {
       "rowmin",      "rowmax",       "staircase_rowmin", "staircase_rowmax",
       "tubemax",     "tubemin",      "string_edit",      "largest_rect",
-      "empty_rect",  "polygon_neighbors", "explain",
+      "empty_rect",  "polygon_neighbors", "submatrix_min", "submatrix_max",
+      "explain",
   };
   return ops;
 }
@@ -21,7 +22,8 @@ bool is_query_op(const std::string& op) {
 bool is_control_op(const std::string& op) {
   return op == "register_dense" || op == "register_staircase" ||
          op == "register_random" || op == "unregister" || op == "stats" ||
-         op == "ping" || op == "trace";
+         op == "ping" || op == "trace" || op == "index_build" ||
+         op == "index_drop" || op == "index_stats";
 }
 
 Request parse_request(const std::string& line) {

@@ -11,6 +11,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
+#include "support/build_info.hpp"
 #include "support/rng.hpp"
 
 namespace pmonge::serve {
@@ -26,7 +27,8 @@ std::vector<std::string> all_ops() {
   std::vector<std::string> ops = query_ops();
   for (const char* op :
        {"register_dense", "register_staircase", "register_random",
-        "unregister", "stats", "ping", "trace"}) {
+        "unregister", "stats", "ping", "trace", "index_build", "index_drop",
+        "index_stats"}) {
     ops.emplace_back(op);
   }
   return ops;
@@ -39,9 +41,10 @@ Service::Service(ServiceOptions opts)
       cache_(opts.cache_capacity, opts.cache_shards),
       metrics_(all_ops()),
       planner_(opts.profile, opts.planner, exec::num_threads()),
-      batcher_(registry_, cache_, metrics_, planner_, opts.model,
+      batcher_(registry_, cache_, metrics_, planner_, indexes_, opts.model,
                opts.coalesce, opts.resilience),
-      queue_(std::make_unique<AdmissionQueue<Pending>>(opts.queue_capacity)) {
+      queue_(std::make_unique<AdmissionQueue<Pending>>(opts.queue_capacity)),
+      start_(std::chrono::steady_clock::now()) {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -352,11 +355,70 @@ std::string Service::handle_control(const Request& req) {
       std::size_t dropped = 0;
       if (removed) {
         dropped = cache_.invalidate_tag(static_cast<std::uint64_t>(id));
+        // An index must never survive its array.  Silent on purpose:
+        // the unregister response bytes predate the index subsystem and
+        // are pinned by golden transcripts.
+        indexes_.drop(static_cast<std::uint64_t>(id));
       }
       Json::Obj o;
       o["removed"] = removed;
       o["cache_invalidated"] = static_cast<std::int64_t>(dropped);
       return make_ok_response(req.id, Json(std::move(o)));
+    }
+
+    if (req.op == "index_build") {
+      const std::int64_t id = req.body.at("array").as_int();
+      auto entry =
+          id < 0 ? nullptr : registry_.get(static_cast<std::uint64_t>(id));
+      if (entry == nullptr) {
+        return make_error_response(req.id,
+                                   "unknown_array: " + std::to_string(id));
+      }
+      const auto info =
+          indexes_.build(static_cast<std::uint64_t>(id), std::move(entry));
+      // Deterministic response: nodes/leaf_rows/memory_bytes are a pure
+      // function of the array (timings live in index_stats).
+      Json::Obj o;
+      o["array"] = id;
+      o["nodes"] = info.nodes;
+      o["leaf_rows"] = info.leaf_rows;
+      o["memory_bytes"] = info.memory_bytes;
+      return make_ok_response(req.id, Json(std::move(o)));
+    }
+
+    if (req.op == "index_drop") {
+      const std::int64_t id = req.body.at("array").as_int();
+      if (id < 0 || registry_.get(static_cast<std::uint64_t>(id)) == nullptr) {
+        return make_error_response(req.id,
+                                   "unknown_array: " + std::to_string(id));
+      }
+      Json::Obj o;
+      o["array"] = id;
+      o["dropped"] = indexes_.drop(static_cast<std::uint64_t>(id));
+      return make_ok_response(req.id, Json(std::move(o)));
+    }
+
+    if (req.op == "index_stats") {
+      if (const Json* a = req.body.find("array")) {
+        const std::int64_t id = a->as_int();
+        auto idx =
+            id < 0 ? nullptr : indexes_.get(static_cast<std::uint64_t>(id));
+        if (idx == nullptr) {
+          return make_error_response(req.id,
+                                     "not_indexed: " + std::to_string(id));
+        }
+        Json::Obj o;
+        o["array"] = id;
+        o["nodes"] = idx->nodes();
+        o["leaf_rows"] = idx->leaf_rows();
+        o["memory_bytes"] = idx->memory_bytes();
+        o["build_us"] = idx->build_us();
+        o["lookups"] = idx->lookups();
+        o["corrupt_detected"] = idx->corrupt_detected();
+        o["node_rebuilds"] = idx->node_rebuilds();
+        return make_ok_response(req.id, Json(std::move(o)));
+      }
+      return make_ok_response(req.id, indexes_.stats_json());
     }
 
     if (req.op == "register_dense" || req.op == "register_staircase") {
@@ -539,6 +601,15 @@ Json Service::stats_json() const {
   trace["enabled"] = obs::enabled();
   trace["dropped"] = obs::dropped_total();
   out["trace"] = Json(std::move(trace));
+  out["index"] = indexes_.stats_json();
+  out["uptime_ms"] = static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  Json::Obj build;
+  build["git"] = support::build_git_describe();
+  build["compiler"] = support::build_compiler();
+  out["build"] = Json(std::move(build));
   {
     // Front-end hooks (set_extra_stats): the TCP server contributes its
     // transport counters here so `stats` tells one story per process.

@@ -26,6 +26,7 @@
 // enters the queue or the engine.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -36,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "index/index.hpp"
 #include "plan/cost_model.hpp"
 #include "plan/planner.hpp"
 #include "pram/machine.hpp"
@@ -121,10 +123,12 @@ class Service {
   ShardedLruCache cache_;
   ServiceMetrics metrics_;
   plan::Planner planner_;
+  index::IndexManager indexes_;  // before batcher_: passed by reference
   Batcher batcher_;
   std::unique_ptr<AdmissionQueue<Pending>> queue_;
   mutable std::mutex extra_stats_mu_;
   std::vector<std::pair<std::string, std::function<Json()>>> extra_stats_;
+  std::chrono::steady_clock::time_point start_;  // for stats uptime_ms
   std::thread worker_;
 };
 

@@ -1,0 +1,19 @@
+// Build provenance for the `stats` op and the Prometheus
+// pmonge_build_info gauge: which source revision and compiler produced
+// the running binary.  Values are baked in at configure time by
+// src/CMakeLists.txt (PMONGE_GIT_DESCRIBE / PMONGE_COMPILER compile
+// definitions on build_info.cpp); a tarball build without git reports
+// "unknown" rather than failing.
+#pragma once
+
+#include <string>
+
+namespace pmonge::support {
+
+/// `git describe --always --dirty` of the tree at configure time.
+const std::string& build_git_describe();
+
+/// Compiler id and version, e.g. "GNU 13.2.0".
+const std::string& build_compiler();
+
+}  // namespace pmonge::support
