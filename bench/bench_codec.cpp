@@ -1,0 +1,240 @@
+// Codec microbench: the request/response byte paths before vs after the
+// zero-allocation rework, measured head to head on identical inputs.
+//
+//   parse:     Json-DOM parse_request (the slow path) vs the streaming
+//              canonicalizer (serve/codec.hpp) -- ns/req and allocs/req;
+//   serialize: make_ok_response (DOM dump) vs append_ok_response_raw
+//              (splice into a reused buffer) -- ns/resp and allocs/resp;
+//   serve:     warm cached-hit through Service with the fast path off
+//              (pre-codec behavior) vs Service::try_serve_fast.
+//
+// Allocation counts come from a global operator-new hook (thread-local
+// counter, main thread only).  The run exits nonzero if the warm fast
+// path allocates at all (the zero-steady-state-allocation gate CI runs)
+// or if the codec fails to beat the DOM parse on time.
+//
+//   --reqs N            requests per timed loop      (default 20000)
+//   --reps N            median-of-N repetitions      (default 5)
+//   --warmup N          throwaway runs per config    (default 1)
+//   --json[=PATH]       machine-readable records     (BENCH_codec.json)
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/codec.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+thread_local std::uint64_t t_news = 0;
+}
+
+void* operator new(std::size_t n) {
+  ++t_news;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  ++t_news;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(al), n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using pmonge::serve::FastQuery;
+using pmonge::serve::Json;
+using pmonge::serve::RequestCodec;
+using pmonge::serve::Service;
+using pmonge::serve::ServiceOptions;
+
+/// Representative request lines: the short cached-query shape the fast
+/// path exists for, plus a wider one with strings and shuffled keys.
+std::vector<std::string> request_lines() {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 8; ++i) {
+    lines.push_back("{\"op\":\"rowmin\",\"array\":0,\"id\":" +
+                    std::to_string(i) + ",\"row\":" + std::to_string(i) + "}");
+  }
+  lines.push_back(
+      R"({"op":"string_edit","id":99,"x":"kitten","y":"sitting"})");
+  lines.push_back(
+      R"({ "row" : 3 , "array" : 0 , "op" : "rowmin" , "id" : 100 })");
+  return lines;
+}
+
+struct Measured {
+  double ns_per = 0;      // median wall ns per item
+  double allocs_per = 0;  // heap allocations per item (exact, one pass)
+};
+
+/// Median-of-reps wall time per item plus a one-pass allocation count.
+template <class F>
+Measured measure(F&& body, std::size_t items, std::size_t warmup,
+                 std::size_t reps) {
+  Measured m;
+  const auto stats = pmonge::bench::timed_median(body, warmup, reps);
+  m.ns_per = stats.median_ms * 1e6 / static_cast<double>(items);
+  const std::uint64_t before = t_news;
+  body();
+  m.allocs_per =
+      static_cast<double>(t_news - before) / static_cast<double>(items);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmonge::Cli cli(argc, argv);
+  const auto reqs = static_cast<std::size_t>(cli.get_int("reqs", 20000));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+  const auto warmup = static_cast<std::size_t>(cli.get_int("warmup", 1));
+  auto records =
+      pmonge::bench::JsonRecords::from_cli(cli, "codec", "BENCH_codec.json");
+  const auto lines = request_lines();
+
+  pmonge::Table table(
+      {"path", "before ns", "after ns", "speedup", "allocs/req before",
+       "allocs/req after"});
+  bool gate_failed = false;
+  const auto emit = [&](const char* path, const Measured& before,
+                        const Measured& after) {
+    table.add_row({path, pmonge::Table::fixed(before.ns_per, 0),
+                   pmonge::Table::fixed(after.ns_per, 0),
+                   pmonge::Table::fixed(before.ns_per / after.ns_per, 2) + "x",
+                   pmonge::Table::fixed(before.allocs_per, 2),
+                   pmonge::Table::fixed(after.allocs_per, 2)});
+    Json::Obj r;
+    r["path"] = path;
+    r["before_ns_per_req"] = before.ns_per;
+    r["after_ns_per_req"] = after.ns_per;
+    r["before_allocs_per_req"] = before.allocs_per;
+    r["after_allocs_per_req"] = after.allocs_per;
+    records.add(std::move(r));
+  };
+
+  pmonge::bench::print_header("request parse: DOM parse_request vs codec");
+  {
+    const Measured before = measure(
+        [&] {
+          for (std::size_t i = 0; i < reqs; ++i) {
+            const auto r = pmonge::serve::parse_request(lines[i % lines.size()]);
+            if (r.signature.empty()) std::abort();
+          }
+        },
+        reqs, warmup, reps);
+    RequestCodec codec;
+    FastQuery q;
+    const Measured after = measure(
+        [&] {
+          for (std::size_t i = 0; i < reqs; ++i) {
+            if (!codec.canonicalize_query(lines[i % lines.size()], q)) {
+              std::abort();
+            }
+          }
+        },
+        reqs, warmup, reps);
+    emit("parse", before, after);
+    if (after.ns_per >= before.ns_per) gate_failed = true;
+    if (after.allocs_per != 0.0) gate_failed = true;  // warm codec: zero
+  }
+
+  pmonge::bench::print_header(
+      "response serialize: make_ok_response vs append_ok_response_raw");
+  {
+    const std::string cached = R"({"col":0,"value":1})";
+    const Measured before = measure(
+        [&] {
+          for (std::size_t i = 0; i < reqs; ++i) {
+            const std::string resp = pmonge::serve::make_ok_response(
+                static_cast<std::int64_t>(i), Json::parse(cached));
+            if (resp.empty()) std::abort();
+          }
+        },
+        reqs, warmup, reps);
+    std::string buf;
+    const Measured after = measure(
+        [&] {
+          for (std::size_t i = 0; i < reqs; ++i) {
+            buf.clear();
+            pmonge::serve::append_ok_response_raw(static_cast<std::int64_t>(i),
+                                                  cached, buf);
+            if (buf.empty()) std::abort();
+          }
+        },
+        reqs, warmup, reps);
+    emit("serialize", before, after);
+    if (after.ns_per >= before.ns_per) gate_failed = true;
+  }
+
+  pmonge::bench::print_header(
+      "cached-hit serve: fast path off (pre-codec) vs try_serve_fast");
+  {
+    const std::string reg =
+        R"({"op":"register_dense","rows":2,"cols":3,"data":[1,2,4,0,1,3]})";
+    const std::string query = R"({"op":"rowmin","array":0,"row":0})";
+    const std::size_t serve_reqs = std::min<std::size_t>(reqs, 4096);
+
+    ServiceOptions off;
+    off.fast_path = false;
+    Service slow(off);
+    slow.request(reg);
+    slow.request(query);  // warm the cache
+    const Measured before = measure(
+        [&] {
+          for (std::size_t i = 0; i < serve_reqs; ++i) slow.request(query);
+        },
+        serve_reqs, warmup, reps);
+
+    Service fast;
+    fast.request(reg);
+    fast.request(query);
+    std::string out;
+    const Measured after = measure(
+        [&] {
+          for (std::size_t i = 0; i < serve_reqs; ++i) {
+            out.clear();
+            if (!fast.try_serve_fast(query, out)) std::abort();
+          }
+        },
+        serve_reqs, warmup, reps);
+    emit("serve_cached_hit", before, after);
+    // The gate CI enforces: the warm fast path performs zero heap
+    // allocations per cached-hit request.
+    if (after.allocs_per != 0.0) gate_failed = true;
+  }
+
+  table.print(std::cout);
+  records.write();
+  std::cout << (gate_failed
+                    ? "GATE FAILED: codec slower than DOM path or warm fast "
+                      "path allocated\n"
+                    : "gates ok: codec faster, warm fast path allocation-free\n");
+  return gate_failed ? 1 : 0;
+}

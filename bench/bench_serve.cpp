@@ -214,6 +214,61 @@ int main(int argc, char** argv) {
     r["profile"] = fopts.profile.id;
     records.add(std::move(r));
   }
+  pmonge::bench::print_header(
+      "cached-hit p50: fast path off (pre-codec baseline) vs on");
+  bool fastpath_regression = false;
+  {
+    // End-to-end gate for the zero-allocation fast path: the same warm
+    // cached-hit request stream through Service::request with the codec
+    // path disabled (exactly the pre-codec serve behavior: parse, queue,
+    // worker, batcher cache probe) vs enabled.  Responses are
+    // byte-identical by the test_codec contract; only the latency may
+    // differ, and it must improve by >= 20% or this run exits nonzero.
+    const std::size_t probe_rows = std::min<std::size_t>(rows, 32);
+    std::vector<std::string> cached;
+    for (std::size_t rI = 0; rI < probe_rows; ++rI) {
+      cached.push_back("{\"op\":\"rowmin\",\"array\":0,\"row\":" +
+                       std::to_string(rI) + "}");
+    }
+    const auto p50_us = [&](bool fast) {
+      ServiceOptions copts;
+      copts.fast_path = fast;
+      copts.queue_capacity = queries + 16;
+      Service csvc(copts);
+      csvc.request(reg);
+      for (const auto& q : cached) csvc.request(q);  // warm the cache
+      const std::size_t per_rep = 64;
+      const auto stats = pmonge::bench::timed_median(
+          [&] {
+            for (std::size_t i = 0; i < per_rep; ++i) {
+              csvc.request(cached[i % cached.size()]);
+            }
+          },
+          warmup + 1, reps);
+      return stats.median_ms * 1000.0 / static_cast<double>(per_rep);
+    };
+    const double off_us = p50_us(false);
+    const double on_us = p50_us(true);
+    const double improve_pct =
+        off_us > 0 ? (off_us - on_us) / off_us * 100.0 : 0.0;
+    fastpath_regression = improve_pct < 20.0;
+    std::cout << "cached hit, fast path off " << pmonge::Table::fixed(off_us, 2)
+              << " us/req, on " << pmonge::Table::fixed(on_us, 2)
+              << " us/req: improvement " << pmonge::Table::fixed(improve_pct, 1)
+              << "% "
+              << (fastpath_regression ? "REGRESSION (< 20%)" : "(>= 20% ok)")
+              << "\n";
+    pmonge::serve::Json::Obj r;
+    r["op"] = "rowmin";
+    r["rows"] = rows;
+    r["cols"] = cols;
+    r["batch"] = std::size_t{1};
+    r["config"] = "cached-hit fast path";
+    r["median_us"] = on_us;
+    r["baseline_us"] = off_us;
+    r["fastpath_improvement_pct"] = improve_pct;
+    records.add(std::move(r));
+  }
   records.write();
 
   pmonge::bench::print_header("serve overload: bounded queue rejects");
@@ -239,5 +294,5 @@ int main(int argc, char** argv) {
   std::cout << "submitted " << stream.size() << " into capacity "
             << opts.queue_capacity << ": " << ok << " answered, " << rejected
             << " rejected `overloaded`, 0 dropped\n";
-  return trace_regression || fault_regression ? 1 : 0;
+  return trace_regression || fault_regression || fastpath_regression ? 1 : 0;
 }

@@ -205,6 +205,7 @@ void Index::build() {
 
   std::vector<ColOpt> mins(nodes_.size()), maxs(nodes_.size());
   std::vector<std::function<void()>> jobs;
+  jobs.reserve(num_blocks_);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].left != kNone) continue;
     jobs.push_back([this, i, &mins, &maxs] {
@@ -260,7 +261,7 @@ void Index::build() {
 }
 
 void Index::collect_canonical(std::size_t ni, std::size_t blo, std::size_t bhi,
-                              std::vector<std::size_t>& out) const {
+                              exec::ScratchVector<std::size_t>& out) const {
   const Node& nd = nodes_[ni];
   if (blo <= nd.blk_lo && nd.blk_hi <= bhi) {
     out.push_back(ni);
@@ -299,8 +300,11 @@ RegionOpt Index::submatrix_opt(bool maxima, std::size_t r0, std::size_t r1,
 
   RegionOpt best;
   const std::size_t dslot = maxima ? 1 : 0;
+  // Per-lookup scratch: the O(lg m) canonical-node list bumps this
+  // thread's arena instead of allocating per query.
+  exec::ScratchScope scratch;
   const auto canonical = [&](std::size_t fb0, std::size_t fb1) {
-    std::vector<std::size_t> canon;
+    auto canon = exec::scratch_vector<std::size_t>();
     collect_canonical(0, fb0, fb1 + 1, canon);
     for (const std::size_t ni : canon) {
       Node& nd = nodes_[ni];

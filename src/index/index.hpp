@@ -37,6 +37,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "exec/scratch.hpp"
 #include "index/breakpoints.hpp"
 #include "plan/cost_model.hpp"
 #include "serve/json.hpp"
@@ -113,7 +114,7 @@ class Index {
   void finalize_node(Node& nd, const ColOpt& mins, const ColOpt& maxs);
   void rebuild_node(Node& nd);
   void collect_canonical(std::size_t ni, std::size_t blo, std::size_t bhi,
-                         std::vector<std::size_t>& out) const;
+                         exec::ScratchVector<std::size_t>& out) const;
   void piece_opt(bool maxima, std::size_t a, std::size_t b, std::size_t c0,
                  std::size_t c1, RegionOpt& best) const;
   static std::uint64_t node_checksum(const Node& nd);

@@ -368,6 +368,19 @@ std::string prometheus_text(const Json& stats) {
            {"memory_bytes", "pmonge_index_memory_bytes",
             "Bytes held by live index structures", "gauge"}});
 
+  section(w, stats.find("alloc"),
+          {{"arena_reserved_bytes", "pmonge_alloc_arena_reserved_bytes",
+            "Bytes reserved by live bump arenas", "gauge"},
+           {"arena_high_water_bytes", "pmonge_alloc_arena_high_water_bytes",
+            "Peak bytes live in any arena scope", "gauge"},
+           {"pool_hits", "pmonge_alloc_pool_hits_total",
+            "Pooled-buffer reuses (no heap allocation)", "counter"},
+           {"pool_misses", "pmonge_alloc_pool_misses_total",
+            "Pooled-buffer acquisitions that had to allocate", "counter"},
+           {"fast_path_hits", "pmonge_alloc_fast_path_hits_total",
+            "Requests served by the zero-allocation cached-hit path",
+            "counter"}});
+
   section(w, stats.find("trace"),
           {{"enabled", "pmonge_trace_enabled", "Span tracing enabled",
             "gauge"},

@@ -30,12 +30,19 @@
 // on the src/exec engine.  Branch bodies write only disjoint slots of
 // `out` / `block` (their branch's rows), which is the independence the
 // simulated machine already required; `eval` must be a pure read.
+// Scratch discipline: the recursion's bookkeeping temporaries (sampled
+// positions, bracket lists, iota row vectors) live on the calling
+// thread's bump arena (exec/scratch.hpp) -- built before any fan-out,
+// read-only inside parallel branches, rewound on frame exit.  Branch-
+// written result carriers (`out`, `block`) stay std::vector: children
+// run on other threads and move their results in.
 #pragma once
 
-#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "exec/scratch.hpp"
 #include "exec/thread_pool.hpp"
 #include "monge/array.hpp"
 #include "pram/machine.hpp"
@@ -62,13 +69,12 @@ namespace detail {
 /// engine never influences either); only the execution strategy differs.
 class MaybeSerial {
  public:
-  explicit MaybeSerial(std::size_t cells)
-      : scope_(cells <= kSerialCutoffCells
-                   ? std::make_unique<exec::SerialScope>()
-                   : nullptr) {}
+  explicit MaybeSerial(std::size_t cells) {
+    if (cells <= kSerialCutoffCells) scope_.emplace();
+  }
 
  private:
-  std::unique_ptr<exec::SerialScope> scope_;
+  std::optional<exec::SerialScope> scope_;  // in place: no per-call heap
 };
 
 /// Ranged argopt over columns [lo, hi] of one row, with tie policy.
@@ -132,10 +138,13 @@ std::vector<RowOpt<T>> rowmin_rec(pram::Machine& mach, const EvalF& eval,
       recurse_groups ? std::max<std::size_t>(2, pmonge::isqrt(m))
                      : (m + n - 1) / n;
 
-  std::vector<std::size_t> sampled_pos;
+  // Frame scratch: sampled positions/rows and the bracket list are built
+  // before any fan-out, read-only in the branches, rewound on return.
+  exec::ScratchScope scratch;
+  auto sampled_pos = exec::scratch_vector<std::size_t>();
   for (std::size_t p = stride - 1; p < m; p += stride) sampled_pos.push_back(p);
   if (sampled_pos.empty()) sampled_pos.push_back(m - 1);
-  std::vector<std::size_t> sampled_rows(sampled_pos.size());
+  auto sampled_rows = exec::scratch_vector<std::size_t>(sampled_pos.size());
   for (std::size_t t = 0; t < sampled_pos.size(); ++t) {
     sampled_rows[t] = rows[sampled_pos[t]];
   }
@@ -152,7 +161,7 @@ std::vector<RowOpt<T>> rowmin_rec(pram::Machine& mach, const EvalF& eval,
     std::size_t p0, p1;  // positions [p0, p1) within `rows`
     std::size_t lo, hi;  // global column bracket
   };
-  std::vector<Bracket> groups;
+  auto groups = exec::scratch_vector<Bracket>();
   std::size_t prev_pos = 0;
   std::size_t prev_col = clo;
   for (std::size_t t = 0; t <= sampled_pos.size(); ++t) {
@@ -197,9 +206,12 @@ std::vector<RowOpt<T>> rowmin_entry(pram::Machine& mach, std::size_t m,
   std::vector<RowOpt<T>> empty_out(m, RowOpt<T>{monge::inf<T>(), kNoCol});
   if (m == 0 || n == 0) return empty_out;
   MaybeSerial serial(m * n);
-  std::vector<std::size_t> rows(m);
+  exec::ScratchScope scratch;  // outlives the recursion; rows is read-only
+  auto rows = exec::scratch_vector<std::size_t>(m);
   for (std::size_t i = 0; i < m; ++i) rows[i] = i;
-  return rowmin_rec<PreferLeft, T>(mach, eval, rows, 0, n - 1);
+  return rowmin_rec<PreferLeft, T>(
+      mach, eval, std::span<const std::size_t>(rows.data(), rows.size()), 0,
+      n - 1);
 }
 
 /// Batched entry: same recursion restricted to an explicit strictly-

@@ -35,6 +35,7 @@
 
 #include <vector>
 
+#include "exec/scratch.hpp"
 #include "monge/array.hpp"
 #include "par/monge_rowminima.hpp"
 #include "pram/machine.hpp"
@@ -60,18 +61,18 @@ struct SegmentJob {
   std::size_t row0, row1;
 };
 
-/// Enumerate the canonical pieces of a staircase frontier.  Host-side
-/// O(m lg n); charged as a scan-based allocation pass (each row flags its
-/// <= lg n set bits, a prefix scan compacts jobs), which is O(lg n) depth
-/// with m+n processors on any model here.
-inline std::vector<SegmentJob> segment_jobs(pram::Machine& mach,
-                                            const std::vector<std::size_t>& f,
-                                            std::size_t n) {
+/// Enumerate the canonical pieces of a staircase frontier into `jobs`
+/// (any vector-like container -- the hot path hands in a scratch vector).
+/// Host-side O(m lg n); charged as a scan-based allocation pass (each row
+/// flags its <= lg n set bits, a prefix scan compacts jobs), which is
+/// O(lg n) depth with m+n processors on any model here.
+template <class JobVec>
+void segment_jobs_into(pram::Machine& mach, const std::vector<std::size_t>& f,
+                       std::size_t n, JobVec& jobs) {
   const std::size_t m = f.size();
-  if (m == 0 || n == 0) return {};
+  if (m == 0 || n == 0) return;
   const auto lgn = static_cast<std::uint64_t>(std::max(1, ceil_lg(n + 1)));
   mach.meter().charge(2 * lgn + 2, m + n, 4 * (m + n));
-  std::vector<SegmentJob> jobs;
   // Frontiers are non-increasing, so rows sharing the same canonical
   // segment are consecutive; sweep rows once per bit level.
   for (std::size_t k = 0; (1ull << k) <= n; ++k) {
@@ -89,6 +90,13 @@ inline std::vector<SegmentJob> segment_jobs(pram::Machine& mach,
       i = j;
     }
   }
+}
+
+inline std::vector<SegmentJob> segment_jobs(pram::Machine& mach,
+                                            const std::vector<std::size_t>& f,
+                                            std::size_t n) {
+  std::vector<SegmentJob> jobs;
+  segment_jobs_into(mach, f, n, jobs);
   return jobs;
 }
 
@@ -174,7 +182,13 @@ std::vector<RowOpt<typename A::value_type>> staircase_opt(
     return out;
   }
 
-  auto jobs = segment_jobs(mach, s.frontiers(), n);
+  // Frame scratch: the job list and the per-level index lists are exact
+  // call-lifetime bookkeeping -- bump-allocated, read-only inside the
+  // parallel branches, rewound on return.  job_res/winners stay on
+  // std::vector (branch threads move results into / sort through them).
+  exec::ScratchScope scratch;
+  auto jobs = exec::scratch_vector<SegmentJob>();
+  segment_jobs_into(mach, s.frontiers(), n, jobs);
   // Jobs at different levels can share rows, and under MaxParallel they
   // run concurrently on the host engine -- so each job writes its own
   // result slot, and the candidate lists are assembled serially below in
@@ -201,8 +215,9 @@ std::vector<RowOpt<typename A::value_type>> staircase_opt(
     // Level-phased: segments of one width at a time.  Within a level the
     // segments are column-disjoint and row blocks meet each row once.
     std::size_t done = 0;
+    auto level = exec::scratch_vector<std::size_t>();
     for (std::size_t k = 0; done < jobs.size(); ++k) {
-      std::vector<std::size_t> level;
+      level.clear();
       for (std::size_t t = 0; t < jobs.size(); ++t) {
         if (jobs[t].level == k) level.push_back(t);
       }

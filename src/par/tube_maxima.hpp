@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/scratch.hpp"
 #include "monge/array.hpp"
 #include "monge/composite.hpp"
 #include "par/monge_rowminima.hpp"
@@ -99,8 +100,10 @@ TubePlane<typename D::value_type> tube_sampled(pram::Machine& mach,
 
   // Sampled grid: rows {0, s, 2s, ..., p-1} x cols {0, s, ..., r-1}; the
   // boundary rows/cols are always included so every output is bracketed.
+  // Scratch: built before the fan-outs, read-only inside the branches.
+  exec::ScratchScope scratch;
   auto sample_axis = [&](std::size_t extent) {
-    std::vector<std::size_t> v;
+    auto v = exec::scratch_vector<std::size_t>();
     for (std::size_t x = 0; x < extent; x += s) v.push_back(x);
     if (v.back() != extent - 1) v.push_back(extent - 1);
     return v;
@@ -129,7 +132,8 @@ TubePlane<typename D::value_type> tube_sampled(pram::Machine& mach,
   // row/column is sampled but not stride-aligned, and a fill branch that
   // re-solved such a cell would write it while concurrent branches read
   // it as a bracket corner.
-  std::vector<char> row_sampled(p, 0), col_sampled(r, 0);
+  auto row_sampled = exec::scratch_vector<char>(p, char{0});
+  auto col_sampled = exec::scratch_vector<char>(r, char{0});
   for (std::size_t x : si) row_sampled[x] = 1;
   for (std::size_t x : sk) col_sampled[x] = 1;
 
@@ -223,7 +227,10 @@ std::vector<TubeOpt<typename D::value_type>> tube_points_impl(
                                             pram::Machine& sub) {
     const std::size_t k = groups[g].first;
     const std::vector<std::size_t>& members = groups[g].second;
-    std::vector<std::size_t> rows;
+    // Branch-local scratch: this lambda runs on some worker thread, so
+    // the row list bumps *that* thread's arena and rewinds at branch end.
+    exec::ScratchScope branch_scratch;
+    auto rows = exec::scratch_vector<std::size_t>();
     rows.reserve(members.size());
     for (const std::size_t t : members) rows.push_back(qs[t].i);
     std::sort(rows.begin(), rows.end());

@@ -382,6 +382,18 @@ struct Server::Impl {
         local_response(conn, serve::make_error_response(id, "overloaded"));
         continue;
       }
+      if (conn->pending.empty() &&
+          service.try_serve_fast(line, conn->outbound)) {
+        // Cached-hit fast path: the response bytes went straight into the
+        // outbound buffer -- no Slot, no Completion, no wakeup round
+        // trip.  Only legal with nothing pending, which is what keeps
+        // per-connection FIFO ordering intact.  (With requests pending,
+        // submit_cb below still takes its own fast path; the answer just
+        // rides the Slot so it drains in order.)
+        conn->outbound += '\n';
+        stats.responses_out.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       auto slot = std::make_shared<Slot>();
       conn->pending.push_back(slot);
       service.submit_cb(std::move(line),

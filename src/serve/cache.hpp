@@ -35,6 +35,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -52,8 +53,10 @@ struct CacheStats {
   std::size_t entries = 0;
 };
 
-/// FNV-1a over the cached value bytes: the poisoning detector.
-inline std::uint64_t cache_checksum(const std::string& v) {
+/// FNV-1a over the cached value bytes: the poisoning detector.  The same
+/// hash keys the shard index, so the streaming codec can compute a
+/// lookup hash incrementally while emitting the canonical signature.
+inline std::uint64_t cache_checksum(std::string_view v) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (const char c : v) {
     h ^= static_cast<unsigned char>(c);
@@ -61,6 +64,23 @@ inline std::uint64_t cache_checksum(const std::string& v) {
   }
   return h;
 }
+
+/// Transparent (heterogeneous-lookup) FNV-1a hasher: std::string keys and
+/// std::string_view probes hash identically, so lookups never materialize
+/// a std::string key.
+struct CacheKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view v) const {
+    return static_cast<std::size_t>(cache_checksum(v));
+  }
+};
+
+struct CacheKeyEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
 
 class ShardedLruCache {
  public:
@@ -101,6 +121,37 @@ class ShardedLruCache {
     ++sh.hits;
     sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
     return it->second->value;
+  }
+
+  /// Hit-only probe for the zero-alloc fast path: on a hit, appends the
+  /// cached value into `out` (caller-owned, warm capacity) and returns
+  /// true.  On a miss it counts *nothing* -- the caller falls back to the
+  /// slow path, whose get() records the miss, so counters stay single-
+  /// counted.  Poisoned entries are dropped and counted exactly as get()
+  /// does, then reported as a miss.
+  bool get_hit(std::string_view key, std::string& out) {
+    return get_hit(key, cache_checksum(key), out);
+  }
+
+  /// get_hit with the key's FNV-1a hash already in hand (the codec
+  /// computes it while emitting the canonical signature).
+  bool get_hit(std::string_view key, std::uint64_t key_hash,
+               std::string& out) {
+    if (!enabled()) return false;
+    Shard& sh = *shards_[key_hash % shards_.size()];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.index.find(key);
+    if (it == sh.index.end()) return false;
+    if (cache_checksum(it->second->value) != it->second->sum) {
+      sh.lru.erase(it->second);
+      sh.index.erase(it);
+      ++sh.poisoned;
+      return false;
+    }
+    ++sh.hits;
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    out += it->second->value;
+    return true;
   }
 
   /// Insert or refresh `key`; evicts the shard's least-recently-used
@@ -210,13 +261,15 @@ class ShardedLruCache {
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = newest
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::unordered_map<std::string, std::list<Entry>::iterator, CacheKeyHash,
+                       CacheKeyEq>
+        index;
     std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0,
                   invalidations = 0, poisoned = 0;
   };
 
-  Shard& shard_of(const std::string& key) {
-    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  Shard& shard_of(std::string_view key) {
+    return *shards_[CacheKeyHash{}(key) % shards_.size()];
   }
 
   std::size_t per_shard_;

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/fmt.hpp"
+
 namespace pmonge::serve {
 
 namespace {
@@ -238,7 +240,7 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
-void dump_string(const std::string& s, std::string& out) {
+void dump_string(std::string_view s, std::string& out) {
   out.push_back('"');
   for (char c : s) {
     switch (c) {
@@ -272,7 +274,7 @@ void dump_value(const Json& v, std::string& out) {
       out += v.as_bool() ? "true" : "false";
       break;
     case Json::Type::Int:
-      out += std::to_string(v.as_int());
+      support::append_int(out, v.as_int());
       break;
     case Json::Type::Double: {
       const double d = v.as_double();
@@ -280,9 +282,7 @@ void dump_value(const Json& v, std::string& out) {
         out += "null";  // JSON has no inf/nan; protocol values are finite
         break;
       }
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.17g", d);
-      out += buf;
+      support::append_double(out, d);
       break;
     }
     case Json::Type::String:
@@ -323,6 +323,12 @@ std::string Json::dump() const {
   std::string out;
   dump_value(*this, out);
   return out;
+}
+
+void Json::dump_to(std::string& out) const { dump_value(*this, out); }
+
+void append_json_string(std::string_view s, std::string& out) {
+  dump_string(s, out);
 }
 
 }  // namespace pmonge::serve

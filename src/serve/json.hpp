@@ -88,6 +88,10 @@ class Json {
   /// Canonical serialization (see header comment).
   std::string dump() const;
 
+  /// Canonical serialization appended to a caller-owned buffer; the
+  /// allocation-free form of dump() for pooled response assembly.
+  void dump_to(std::string& out) const;
+
   friend bool operator==(const Json&, const Json&) = default;
 
  private:
@@ -101,5 +105,10 @@ class Json {
                Obj>
       v_;
 };
+
+/// Append `s` as a canonical JSON string literal (quotes + escapes),
+/// byte-identical to how dump() emits strings and object keys.  Shared
+/// with the streaming request codec (serve/codec.cpp).
+void append_json_string(std::string_view s, std::string& out);
 
 }  // namespace pmonge::serve

@@ -50,6 +50,7 @@
 #include "rpc/backpressure.hpp"
 #include "rpc/server.hpp"
 #include "serve/service.hpp"
+#include "support/arena.hpp"
 #include "support/cli.hpp"
 
 namespace {
@@ -308,9 +309,21 @@ int main(int argc, char** argv) {
   std::atomic<std::uint64_t> lines_in{0};
   std::uint64_t responses_out = 0;
 
+  // An output slot is either an already-serialized response (the
+  // cached-hit fast path answered on the reader thread) or a future the
+  // worker will fulfill.  Ready slots draw their buffers from `spare`, a
+  // small pool of retired response strings, so a steady cached-hit
+  // stream recycles warm capacity instead of allocating per line.
+  struct OutItem {
+    std::future<std::string> fut;
+    std::string ready;
+    bool is_ready = false;
+  };
+
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<std::future<std::string>> pending;
+  std::deque<OutItem> pending;
+  std::vector<std::string> spare;  // pooled response buffers (under mu)
   bool done = false;
 
   std::thread reader([&] {
@@ -319,10 +332,30 @@ int main(int argc, char** argv) {
       if (line.empty()) continue;
       limiter.acquire();
       lines_in.fetch_add(1, std::memory_order_relaxed);
-      auto fut = service.submit(std::move(line));
+      OutItem item;
+      bool pooled = false;
       {
         std::lock_guard<std::mutex> lock(mu);
-        pending.push_back(std::move(fut));
+        if (!spare.empty()) {
+          item.ready = std::move(spare.back());
+          spare.pop_back();
+          pooled = true;
+        }
+      }
+      item.ready.clear();
+      if (pooled) {
+        pmonge::support::alloc_note_pool_hit();
+      } else {
+        pmonge::support::alloc_note_pool_miss();
+      }
+      if (service.try_serve_fast(line, item.ready)) {
+        item.is_ready = true;
+      } else {
+        item.fut = service.submit(std::move(line));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        pending.push_back(std::move(item));
       }
       cv.notify_one();
     }
@@ -334,15 +367,19 @@ int main(int argc, char** argv) {
   });
 
   while (true) {
-    std::future<std::string> fut;
+    OutItem item;
     {
       std::unique_lock<std::mutex> lock(mu);
       cv.wait(lock, [&] { return done || !pending.empty(); });
       if (pending.empty()) break;
-      fut = std::move(pending.front());
+      item = std::move(pending.front());
       pending.pop_front();
     }
-    const std::string resp = fut.get();
+    if (!item.is_ready) {
+      item.ready.clear();
+      item.ready += item.fut.get();
+    }
+    const std::string& resp = item.ready;
     limiter.release();
     const bool wrote =
         std::fwrite(resp.data(), 1, resp.size(), stdout) == resp.size() &&
@@ -363,6 +400,14 @@ int main(int argc, char** argv) {
       std::exit(0);
     }
     ++responses_out;
+    {
+      // Retire the response buffer into the pool (capacity kept).  The
+      // pool never outgrows the inflight window, so memory stays bounded.
+      std::lock_guard<std::mutex> lock(mu);
+      if (spare.size() < limits.max_inflight) {
+        spare.push_back(std::move(item.ready));
+      }
+    }
   }
 
   reader.join();

@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "serve/json.hpp"
@@ -43,12 +44,16 @@ class ServiceMetrics {
     for (const auto& op : ops) {
       by_op_.emplace(op, std::make_unique<EndpointMetrics>());
     }
-    by_op_.emplace(kOther, std::make_unique<EndpointMetrics>());
+    other_ =
+        by_op_.emplace(kOther, std::make_unique<EndpointMetrics>())
+            .first->second.get();
   }
 
-  EndpointMetrics& endpoint(const std::string& op) {
+  /// string_view overload (and transparent map comparator) so the
+  /// fast path's op -- a view into codec scratch -- needs no key copy.
+  EndpointMetrics& endpoint(std::string_view op) {
     const auto it = by_op_.find(op);
-    return it == by_op_.end() ? *by_op_.at(kOther) : *it->second;
+    return it == by_op_.end() ? *other_ : *it->second;
   }
 
   support::Counter& batches() { return batches_; }
@@ -122,7 +127,8 @@ class ServiceMetrics {
 
  private:
   static constexpr const char* kOther = "_other";
-  std::map<std::string, std::unique_ptr<EndpointMetrics>> by_op_;
+  std::map<std::string, std::unique_ptr<EndpointMetrics>, std::less<>> by_op_;
+  EndpointMetrics* other_ = nullptr;  // the "_other" slot, cached
   support::Counter batches_;
   support::LogHistogram batch_size_;
   support::Counter charged_time_;  // summed simulated-PRAM steps

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/fmt.hpp"
+
 namespace pmonge::serve {
 
 const std::vector<std::string>& query_ops() {
@@ -14,12 +16,12 @@ const std::vector<std::string>& query_ops() {
   return ops;
 }
 
-bool is_query_op(const std::string& op) {
+bool is_query_op(std::string_view op) {
   const auto& ops = query_ops();
   return std::find(ops.begin(), ops.end(), op) != ops.end();
 }
 
-bool is_control_op(const std::string& op) {
+bool is_control_op(std::string_view op) {
   return op == "register_dense" || op == "register_staircase" ||
          op == "register_random" || op == "unregister" || op == "stats" ||
          op == "ping" || op == "trace" || op == "index_build" ||
@@ -46,36 +48,66 @@ Request parse_request(const std::string& line) {
     req.trace_id = static_cast<std::uint64_t>(t);
   }
   if (is_query_op(req.op)) {
-    Json::Obj sig = req.body.obj();
-    sig.erase("id");
-    sig.erase("deadline_ms");
-    sig.erase("trace_id");
-    req.signature = Json(std::move(sig)).dump();
+    // Canonical body with transport fields skipped, emitted straight from
+    // the sorted parse tree -- no copied-and-erased Obj per request.
+    req.signature.reserve(line.size());
+    req.signature.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : req.body.obj()) {
+      if (k == "id" || k == "deadline_ms" || k == "trace_id") continue;
+      if (!first) req.signature.push_back(',');
+      first = false;
+      append_json_string(k, req.signature);
+      req.signature.push_back(':');
+      v.dump_to(req.signature);
+    }
+    req.signature.push_back('}');
   }
   return req;
 }
 
-namespace {
+// Handwritten response assembly relies on the sorted-key canonical order:
+// "error" < "id" < "ok" < "result", so emitting fields in that fixed
+// order matches what dumping a std::map-backed Obj produces.
 
-std::string finish(std::int64_t id, Json::Obj obj) {
-  if (id != kNoId) obj["id"] = id;
-  return Json(std::move(obj)).dump();
+void append_ok_response_raw(std::int64_t id, std::string_view result_canonical,
+                            std::string& out) {
+  if (id != kNoId) {
+    out += "{\"id\":";
+    support::append_int(out, id);
+    out += ",\"ok\":true,\"result\":";
+  } else {
+    out += "{\"ok\":true,\"result\":";
+  }
+  out += result_canonical;
+  out.push_back('}');
 }
 
-}  // namespace
+void append_error_response(std::int64_t id, std::string_view error,
+                           std::string& out) {
+  out += "{\"error\":";
+  append_json_string(error, out);
+  if (id != kNoId) {
+    out += ",\"id\":";
+    support::append_int(out, id);
+  }
+  out += ",\"ok\":false}";
+}
 
 std::string make_ok_response(std::int64_t id, Json result) {
-  Json::Obj obj;
-  obj["ok"] = true;
-  obj["result"] = std::move(result);
-  return finish(id, std::move(obj));
+  std::string out;
+  std::string body;
+  result.dump_to(body);
+  out.reserve(body.size() + 40);
+  append_ok_response_raw(id, body, out);
+  return out;
 }
 
 std::string make_error_response(std::int64_t id, const std::string& error) {
-  Json::Obj obj;
-  obj["ok"] = false;
-  obj["error"] = error;
-  return finish(id, std::move(obj));
+  std::string out;
+  out.reserve(error.size() + 40);
+  append_error_response(id, error, out);
+  return out;
 }
 
 }  // namespace pmonge::serve

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "serve/json.hpp"
@@ -53,10 +54,10 @@ struct Request {
 
 /// Query-plane op names (also the metrics vocabulary).
 const std::vector<std::string>& query_ops();
-bool is_query_op(const std::string& op);
+bool is_query_op(std::string_view op);
 
 /// Control-plane op names.
-bool is_control_op(const std::string& op);
+bool is_control_op(std::string_view op);
 
 /// Parse one request line; throws JsonError on malformed input (bad
 /// JSON, missing or non-string op).  Computes the signature for query ops.
@@ -65,5 +66,14 @@ Request parse_request(const std::string& line);
 /// Serialize a success / error response (canonical bytes).
 std::string make_ok_response(std::int64_t id, Json result);
 std::string make_error_response(std::int64_t id, const std::string& error);
+
+/// Append-into-buffer forms of the response serializers: same canonical
+/// bytes, no per-call std::string.  `result_canonical` in the _raw form
+/// must already be canonical JSON (e.g. cached response bytes), which is
+/// spliced in verbatim.
+void append_ok_response_raw(std::int64_t id, std::string_view result_canonical,
+                            std::string& out);
+void append_error_response(std::int64_t id, std::string_view error,
+                           std::string& out);
 
 }  // namespace pmonge::serve

@@ -11,7 +11,10 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
+#include "serve/codec.hpp"
+#include "support/arena.hpp"
 #include "support/build_info.hpp"
+#include "support/fmt.hpp"
 #include "support/rng.hpp"
 
 namespace pmonge::serve {
@@ -56,7 +59,64 @@ Service::~Service() {
 void Service::pause() { queue_->pause(true); }
 void Service::resume() { queue_->pause(false); }
 
+bool Service::try_serve_fast(std::string_view line, std::string& out) {
+  // Preconditions for skipping the slow path entirely: the cache must be
+  // on, no implicit deadline can apply (deadline admission precedes the
+  // cache), and neither tracing nor fault injection may be armed (both
+  // hook the slow path's stages).
+  if (!opts_.fast_path || !cache_.enabled() || opts_.default_deadline_ms >= 0 ||
+      obs::enabled() || fault::armed()) {
+    return false;
+  }
+  RequestCodec& codec = thread_codec();
+  FastQuery q;
+  if (!codec.canonicalize_query(line, q)) return false;
+  // explain reports live plan/cost observations and is never cached.
+  if (q.op == "explain" || !is_query_op(q.op)) return false;
+
+  const auto t0 = ServeClock::now();
+  std::string& buf = codec.response_buffer();
+  const std::size_t warm_capacity = buf.capacity();
+  buf.clear();
+  if (q.id != kNoId) {
+    buf += "{\"id\":";
+    support::append_int(buf, q.id);
+    buf += ",\"ok\":true,\"result\":";
+  } else {
+    buf += "{\"ok\":true,\"result\":";
+  }
+  if (!cache_.get_hit(q.signature, q.hash, buf)) return false;
+  buf.push_back('}');
+
+  // Same per-endpoint accounting the queue/worker path would record for
+  // a cached hit: admitted, hit, ok, and submit-to-answer latency.
+  EndpointMetrics& em = metrics_.endpoint(q.op);
+  em.requests.add();
+  em.cache_hits.add();
+  em.ok.add();
+  em.latency_us.record(us_between(t0, ServeClock::now()));
+  support::alloc_note_fast_path_hit();
+  if (buf.capacity() == warm_capacity && warm_capacity != 0) {
+    support::alloc_note_pool_hit();
+  } else {
+    support::alloc_note_pool_miss();
+  }
+  out += buf;
+  return true;
+}
+
 void Service::submit_cb(std::string line, ResponseCallback done) {
+  {
+    // Cached-hit fast path: answered inline on the submitting thread,
+    // exactly like control ops and admission rejections already are.
+    thread_local std::string fastbuf;
+    fastbuf.clear();
+    if (try_serve_fast(line, fastbuf)) {
+      done(fastbuf);
+      return;
+    }
+  }
+
   obs::Span span("serve.admit");
 
   Request req;
@@ -597,6 +657,14 @@ Json Service::stats_json() const {
   external["chunks"] = es.external.chunks;
   ex["external"] = Json(std::move(external));
   out["exec"] = Json(std::move(ex));
+  const support::AllocStats as = support::alloc_stats();
+  Json::Obj alloc;
+  alloc["arena_reserved_bytes"] = as.arena_reserved_bytes;
+  alloc["arena_high_water_bytes"] = as.arena_high_water_bytes;
+  alloc["pool_hits"] = as.pool_hits;
+  alloc["pool_misses"] = as.pool_misses;
+  alloc["fast_path_hits"] = as.fast_path_hits;
+  out["alloc"] = Json(std::move(alloc));
   Json::Obj trace;
   trace["enabled"] = obs::enabled();
   trace["dropped"] = obs::dropped_total();

@@ -62,6 +62,13 @@ struct ServiceOptions {
   bool planner = true;                // adaptive execution planner on/off
   plan::CostProfile profile = plan::builtin_profile();  // cost-model constants
   ResilienceOptions resilience;       // retry / timeout / breaker knobs
+  // Zero-allocation cached-hit path (serve/codec.hpp): canonicalize the
+  // line in place, probe the cache, splice the cached bytes into the
+  // response -- no DOM, no queue, no worker hand-off.  Off is the
+  // pre-codec behavior; responses are byte-identical either way (the
+  // test_codec golden run asserts it), so the toggle exists for A/B
+  // benchmarking and bisection, not semantics.
+  bool fast_path = true;
 };
 
 class Service {
@@ -89,6 +96,15 @@ class Service {
 
   /// Synchronous single request.
   std::string request(const std::string& line);
+
+  /// Zero-allocation cached-hit attempt: if `line` is a well-formed
+  /// query (no deadline/trace fields) whose canonical signature is in
+  /// the result cache, appends the full response (no newline) to `out`
+  /// and returns true.  False means "not served" -- submit the line
+  /// through submit_cb/submit as usual; nothing was consumed or counted.
+  /// `out` is untouched on false.  Thread-safe; transport front-ends
+  /// call this inline before paying for the queue hand-off.
+  bool try_serve_fast(std::string_view line, std::string& out);
 
   /// Submit all lines, then wait; responses align with `lines`.
   std::vector<std::string> request_batch(const std::vector<std::string>& lines);

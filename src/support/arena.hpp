@@ -1,0 +1,231 @@
+// Bump allocation for steady-state-allocation-free hot paths.
+//
+// An Arena hands out pointer-bumped storage from a chain of chunks and
+// frees nothing until reset: allocation is an add + compare, deallocation
+// is a no-op.  That is exactly the lifetime shape of per-call kernel
+// scratch (src/exec/scratch.hpp) and per-request codec state
+// (src/serve/codec.hpp): everything allocated inside a scope dies
+// together when the scope ends, so the arena just rewinds.
+//
+// Scoped reset: Arena::Scope captures the bump position at construction
+// and rewinds to it at destruction.  Scopes must nest LIFO on the owning
+// thread -- which they do for call-stack-shaped usage -- and memory
+// handed out inside a scope must not be touched after the scope ends.
+// Chunks are never moved or freed by a rewind, so pointers handed out by
+// an *enclosing* scope stay valid across inner scopes.
+//
+// Accounting: every arena feeds three process-global counters (relaxed
+// atomics, read by the serve `stats` endpoint's `alloc` section and the
+// pmonge_alloc_* Prometheus families):
+//   * reserved bytes: chunk storage currently held by live arenas;
+//   * high-water bytes: the largest in-use (bumped) footprint any single
+//     arena ever reached;
+//   * the codec buffer-pool hit/miss and fast-path counters declared
+//     below, advanced by the serve layer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace pmonge::support {
+
+// ---------------------------------------------------------------------------
+// Process-global allocation-discipline counters (`stats` section `alloc`)
+// ---------------------------------------------------------------------------
+
+struct AllocStats {
+  std::uint64_t arena_reserved_bytes = 0;    // chunk bytes held by live arenas
+  std::uint64_t arena_high_water_bytes = 0;  // max in-use bytes of any arena
+  std::uint64_t pool_hits = 0;    // pooled-buffer reuses without growth
+  std::uint64_t pool_misses = 0;  // pooled-buffer acquisitions that grew
+  std::uint64_t fast_path_hits = 0;  // requests served on the zero-alloc path
+};
+
+namespace detail {
+struct AllocCounters {
+  std::atomic<std::uint64_t> arena_reserved{0};
+  std::atomic<std::uint64_t> arena_high_water{0};
+  std::atomic<std::uint64_t> pool_hits{0};
+  std::atomic<std::uint64_t> pool_misses{0};
+  std::atomic<std::uint64_t> fast_path_hits{0};
+};
+
+inline AllocCounters& alloc_counters() {
+  static AllocCounters c;
+  return c;
+}
+
+inline void bump_high_water(std::atomic<std::uint64_t>& hw, std::uint64_t v) {
+  std::uint64_t cur = hw.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !hw.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Pool accounting hooks for the serve layer's reusable buffers: a hit is
+/// a request served entirely from warm capacity, a miss had to grow.
+inline void alloc_note_pool_hit() {
+  detail::alloc_counters().pool_hits.fetch_add(1, std::memory_order_relaxed);
+}
+inline void alloc_note_pool_miss() {
+  detail::alloc_counters().pool_misses.fetch_add(1, std::memory_order_relaxed);
+}
+inline void alloc_note_fast_path_hit() {
+  detail::alloc_counters().fast_path_hits.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+inline AllocStats alloc_stats() {
+  const auto& c = detail::alloc_counters();
+  AllocStats s;
+  s.arena_reserved_bytes = c.arena_reserved.load(std::memory_order_relaxed);
+  s.arena_high_water_bytes =
+      c.arena_high_water.load(std::memory_order_relaxed);
+  s.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
+  s.pool_misses = c.pool_misses.load(std::memory_order_relaxed);
+  s.fast_path_hits = c.fast_path_hits.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_chunk_bytes = 1 << 12)
+      : next_chunk_bytes_(first_chunk_bytes < 256 ? 256 : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    detail::alloc_counters().arena_reserved.fetch_sub(
+        reserved_, std::memory_order_relaxed);
+  }
+
+  /// `n` bytes aligned to `align` (a power of two).  Bumps the current
+  /// chunk, or starts a new chunk at least twice the size of the last.
+  void* allocate(std::size_t n, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t off = (used_ + (align - 1)) & ~(align - 1);
+    if (chunks_.empty() || off + n > chunks_[cur_].size) {
+      grow(n + align);
+      off = (used_ + (align - 1)) & ~(align - 1);
+    }
+    used_ = off + n;
+    detail::bump_high_water(detail::alloc_counters().arena_high_water,
+                            base_used_ + used_);
+    return chunks_[cur_].data.get() + off;
+  }
+
+  /// Bytes bumped out across all chunks since the last full reset.
+  std::size_t used() const { return base_used_ + used_; }
+  /// Chunk bytes currently reserved (never shrinks until destruction).
+  std::size_t reserved() const { return reserved_; }
+  /// High-water of used() over this arena's lifetime.
+  std::size_t high_water() const { return high_water_; }
+
+  /// Rewind to empty, keeping every chunk for reuse.
+  void reset() {
+    if (!chunks_.empty()) {
+      cur_ = 0;
+      used_ = 0;
+      base_used_ = 0;
+    }
+  }
+
+  /// LIFO scope: rewinds the arena to its construction-time position.
+  class Scope {
+   public:
+    explicit Scope(Arena& a)
+        : arena_(a), chunk_(a.cur_), used_(a.used_), base_(a.base_used_) {}
+    ~Scope() {
+      arena_.high_water_ =
+          arena_.used() > arena_.high_water_ ? arena_.used()
+                                             : arena_.high_water_;
+      arena_.cur_ = chunk_;
+      arena_.used_ = used_;
+      arena_.base_used_ = base_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena& arena_;
+    std::size_t chunk_;
+    std::size_t used_;
+    std::size_t base_;
+  };
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t need) {
+    if (!chunks_.empty()) {
+      base_used_ += used_;
+      used_ = 0;
+    }
+    // Advance into already-reserved chunks left behind by rewound scopes
+    // before reserving fresh storage (too-small ones are skipped whole).
+    while (cur_ + 1 < chunks_.size()) {
+      ++cur_;
+      if (chunks_[cur_].size >= need) return;
+    }
+    std::size_t sz = next_chunk_bytes_;
+    while (sz < need) sz *= 2;
+    next_chunk_bytes_ = sz * 2;
+    Chunk c;
+    c.data = std::unique_ptr<char[]>(new char[sz]);
+    c.size = sz;
+    reserved_ += sz;
+    detail::alloc_counters().arena_reserved.fetch_add(
+        sz, std::memory_order_relaxed);
+    chunks_.push_back(std::move(c));
+    cur_ = chunks_.size() - 1;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;        // index of the chunk being bumped
+  std::size_t used_ = 0;       // bytes bumped in the current chunk
+  std::size_t base_used_ = 0;  // bytes bumped in earlier chunks
+  std::size_t reserved_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t next_chunk_bytes_;
+};
+
+/// Minimal std::allocator-compatible adapter so standard containers can
+/// live on an Arena (deallocate is a no-op; the owning scope rewinds).
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& a) : arena_(&a) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& o) : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <class U>
+  bool operator==(const ArenaAllocator<U>& o) const {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace pmonge::support

@@ -1,0 +1,85 @@
+// Allocation-free numeric formatting helpers for the serve codec and the
+// observability exposition: append decimal integers / %.17g doubles
+// directly into a caller-owned buffer, with no std::to_string /
+// stringstream temporaries on the way.
+//
+// Byte compatibility is the contract: append_int produces exactly the
+// bytes std::to_string(int64) produces (decimal int64 formatting is
+// unique), and append_double produces exactly snprintf("%.17g") --
+// the canonical-JSON number formats of serve/json.hpp, which cache keys
+// and golden transcripts are pinned to.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace pmonge::support {
+
+namespace detail {
+// Two-digit pairs "00".."99": halves the division count of the digit
+// loop and keeps the whole conversion in a stack buffer.
+inline constexpr char kDigitPairs[201] =
+    "00010203040506070809"
+    "10111213141516171819"
+    "20212223242526272829"
+    "30313233343536373839"
+    "40414243444546474849"
+    "50515253545556575859"
+    "60616263646566676869"
+    "70717273747576777879"
+    "80818283848586878889"
+    "90919293949596979899";
+}  // namespace detail
+
+/// Decimal digits of `v` into `buf` (no terminator); returns the length.
+/// `buf` must hold at least 20 bytes.
+inline std::size_t format_uint(std::uint64_t v, char* buf) {
+  char tmp[20];
+  std::size_t n = 0;
+  while (v >= 100) {
+    const std::size_t d = static_cast<std::size_t>(v % 100) * 2;
+    v /= 100;
+    tmp[n++] = detail::kDigitPairs[d + 1];
+    tmp[n++] = detail::kDigitPairs[d];
+  }
+  if (v >= 10) {
+    const std::size_t d = static_cast<std::size_t>(v) * 2;
+    tmp[n++] = detail::kDigitPairs[d + 1];
+    tmp[n++] = detail::kDigitPairs[d];
+  } else {
+    tmp[n++] = static_cast<char>('0' + v);
+  }
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+inline void append_uint(std::string& out, std::uint64_t v) {
+  char buf[20];
+  out.append(buf, format_uint(v, buf));
+}
+
+inline void append_int(std::string& out, std::int64_t v) {
+  char buf[21];
+  std::size_t n = 0;
+  std::uint64_t mag;
+  if (v < 0) {
+    buf[n++] = '-';
+    // Two's-complement negate in unsigned space so INT64_MIN is exact.
+    mag = ~static_cast<std::uint64_t>(v) + 1;
+  } else {
+    mag = static_cast<std::uint64_t>(v);
+  }
+  n += format_uint(mag, buf + n);
+  out.append(buf, n);
+}
+
+/// %.17g, the canonical-JSON double format (finite inputs only; the
+/// JSON layer maps non-finite values to null before formatting).
+inline void append_double(std::string& out, double d) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", d);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace pmonge::support
